@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The offline environment lacks the ``wheel`` package, which the PEP 660
+editable-install path requires; this shim lets ``pip install -e .`` fall back
+to the classic ``setup.py develop`` route.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — a reproduction of PMEvo (Ritter & Hack, PLDI 2020).
+
+PMEvo infers the port mapping of an out-of-order processor from throughput
+measurements of short, dependency-free instruction sequences, using an
+evolutionary algorithm whose fitness function is an analytical throughput
+model evaluated by a fast bottleneck simulation algorithm.
+
+Quick tour of the public API:
+
+* :mod:`repro.core` — ports, µops, two-/three-level port mappings,
+  experiments, instruction set descriptions.
+* :mod:`repro.throughput` — the analytical throughput model: LP formulation
+  and the bottleneck simulation algorithm, plus batched evaluation.
+* :mod:`repro.machine` — cycle-level out-of-order processor simulator with
+  SKL-/ZEN-/A72-like presets; stands in for the paper's physical machines.
+* :mod:`repro.codegen` — dependency-avoiding operand allocation and loop
+  unrolling for benchmark kernels.
+* :mod:`repro.pmevo` — the inference pipeline: experiment generation,
+  congruence filtering, evolutionary optimization, local search.
+* :mod:`repro.baselines` — uops.info-, IACA-, llvm-mca- and Ithemal-style
+  comparison predictors.
+* :mod:`repro.analysis` — accuracy metrics (MAPE/PCC/SCC), heat maps,
+  report tables.
+"""
+
+from repro.core import (
+    ISA,
+    Experiment,
+    ExperimentSet,
+    InstructionForm,
+    MeasuredExperiment,
+    OperandKind,
+    OperandSpec,
+    PortSpace,
+    ReproError,
+    ThreeLevelMapping,
+    TwoLevelMapping,
+)
+from repro.throughput import (
+    BatchedThroughputEvaluator,
+    MappingPredictor,
+    bottleneck_throughput,
+    lp_throughput,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ISA",
+    "Experiment",
+    "ExperimentSet",
+    "InstructionForm",
+    "MeasuredExperiment",
+    "OperandKind",
+    "OperandSpec",
+    "PortSpace",
+    "ReproError",
+    "ThreeLevelMapping",
+    "TwoLevelMapping",
+    "BatchedThroughputEvaluator",
+    "MappingPredictor",
+    "bottleneck_throughput",
+    "lp_throughput",
+    "__version__",
+]

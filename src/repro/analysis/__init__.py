@@ -1,0 +1,46 @@
+"""Accuracy metrics, heat maps, mapping comparison/export, and tables."""
+
+from repro.analysis.compare import (
+    MappingComparison,
+    canonical_experiments,
+    find_port_permutation,
+    mapping_diff,
+    permutation_equivalent,
+    throughput_distance,
+)
+from repro.analysis.export import (
+    reciprocal_throughputs,
+    to_llvm_sched_model,
+    to_osaca_table,
+)
+from repro.analysis.heatmap import Heatmap, build_heatmap, diagonal_mass
+from repro.analysis.metrics import (
+    AccuracyReport,
+    evaluate_predictor,
+    mape,
+    pearson_cc,
+    spearman_cc,
+)
+from repro.analysis.tables import format_kv_rows, format_table
+
+__all__ = [
+    "mape",
+    "pearson_cc",
+    "spearman_cc",
+    "AccuracyReport",
+    "evaluate_predictor",
+    "Heatmap",
+    "build_heatmap",
+    "diagonal_mass",
+    "format_table",
+    "format_kv_rows",
+    "throughput_distance",
+    "find_port_permutation",
+    "permutation_equivalent",
+    "canonical_experiments",
+    "mapping_diff",
+    "MappingComparison",
+    "to_llvm_sched_model",
+    "to_osaca_table",
+    "reciprocal_throughputs",
+]

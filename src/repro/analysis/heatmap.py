@@ -1,0 +1,116 @@
+"""Heat-map binning and text rendering (Figure 7).
+
+Figure 7 relates predicted and measured throughput per experiment in a
+35×35 grid of equally sized bins; each bin's shade is the (log-scaled)
+number of experiments falling into it.  We reproduce the underlying data
+exactly and render it as ASCII art, since the environment has no plotting
+stack.  Benches persist both the counts and the rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ReproError
+
+__all__ = ["Heatmap", "build_heatmap", "diagonal_mass"]
+
+#: Bin count per axis, as in the paper.
+DEFAULT_BINS = 35
+
+#: Shade ramp for ASCII rendering, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class Heatmap:
+    """Binned predicted-vs-measured data for one (predictor, machine)."""
+
+    counts: np.ndarray  # [bins, bins]; rows = predicted, columns = measured
+    limit: float  # both axes span [0, limit]
+    predictor: str
+    machine: str
+
+    @property
+    def bins(self) -> int:
+        return self.counts.shape[0]
+
+    def render(self, width: int = 2) -> str:
+        """ASCII rendering, predicted on the vertical axis (top = high)."""
+        nonzero = self.counts[self.counts > 0]
+        if nonzero.size == 0:
+            raise ReproError("empty heat map")
+        log_max = float(np.log1p(nonzero.max()))
+        lines = []
+        for row in range(self.bins - 1, -1, -1):
+            cells = []
+            for col in range(self.bins):
+                count = self.counts[row, col]
+                if count == 0:
+                    shade = " " if row != col else "·"
+                else:
+                    level = np.log1p(count) / log_max
+                    shade = _SHADES[min(int(level * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+                cells.append(shade * width)
+            lines.append("|" + "".join(cells) + "|")
+        header = (
+            f"{self.predictor} on {self.machine} "
+            f"(predicted vs measured cycles, 0..{self.limit:.0f})"
+        )
+        bar = "+" + "-" * (self.bins * width) + "+"
+        return "\n".join([header, bar, *lines, bar])
+
+
+def build_heatmap(
+    predicted: np.ndarray,
+    measured: np.ndarray,
+    predictor: str = "",
+    machine: str = "",
+    bins: int = DEFAULT_BINS,
+    limit: float | None = None,
+) -> Heatmap:
+    """Bin predicted/measured pairs into a ``bins × bins`` grid.
+
+    ``limit`` defaults to the maximum of both series (the paper scales each
+    heat map's axes to its own data, e.g. llvm-mca on A72 runs to 150).
+    Values at or above the limit land in the last bin.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if predicted.shape != measured.shape or predicted.ndim != 1:
+        raise ReproError("prediction and measurement arrays must be 1-D and equal-length")
+    if predicted.size == 0:
+        raise ReproError("need at least one data point")
+    if bins < 2:
+        raise ReproError("need at least two bins")
+    if limit is None:
+        limit = float(max(predicted.max(), measured.max()))
+    if limit <= 0:
+        raise ReproError("heat-map limit must be positive")
+
+    scale = bins / limit
+    rows = np.clip((predicted * scale).astype(int), 0, bins - 1)
+    cols = np.clip((measured * scale).astype(int), 0, bins - 1)
+    counts = np.zeros((bins, bins), dtype=np.int64)
+    np.add.at(counts, (rows, cols), 1)
+    return Heatmap(counts=counts, limit=limit, predictor=predictor, machine=machine)
+
+
+def diagonal_mass(heatmap: Heatmap, radius: int = 1) -> float:
+    """Fraction of experiments within ``radius`` bins of the diagonal.
+
+    A scalar summary of "points close to the ideal line"; used by tests and
+    EXPERIMENTS.md to compare heat maps without eyeballing ASCII art.
+    """
+    total = heatmap.counts.sum()
+    if total == 0:
+        raise ReproError("empty heat map")
+    mass = 0
+    bins = heatmap.bins
+    for row in range(bins):
+        lo = max(0, row - radius)
+        hi = min(bins, row + radius + 1)
+        mass += heatmap.counts[row, lo:hi].sum()
+    return float(mass / total)

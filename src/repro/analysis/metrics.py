@@ -1,0 +1,114 @@
+"""Prediction accuracy metrics (Section 5.3).
+
+The paper reports three metrics per (predictor, machine):
+
+* **MAPE** — mean absolute percentage error of predictions over
+  measurements,
+* **Pearson CC** — linear correlation between predictions and measurements,
+* **Spearman CC** — rank correlation (does the predictor order experiments
+  correctly?).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.core.errors import ReproError
+from repro.core.experiment import Experiment, ExperimentSet
+from repro.throughput.predictor import ThroughputPredictor
+
+__all__ = ["mape", "pearson_cc", "spearman_cc", "AccuracyReport", "evaluate_predictor"]
+
+
+def _validate(predicted: np.ndarray, measured: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    if predicted.shape != measured.shape or predicted.ndim != 1:
+        raise ReproError("prediction and measurement arrays must be 1-D and equal-length")
+    if predicted.size == 0:
+        raise ReproError("need at least one data point")
+    if np.any(measured <= 0):
+        raise ReproError("measured throughputs must be positive")
+    return predicted, measured
+
+
+def mape(predicted: Iterable[float], measured: Iterable[float]) -> float:
+    """Mean absolute percentage error, in percent."""
+    p, m = _validate(np.fromiter(predicted, float), np.fromiter(measured, float))
+    return float(100.0 * np.mean(np.abs(p - m) / m))
+
+
+def pearson_cc(predicted: Iterable[float], measured: Iterable[float]) -> float:
+    """Pearson correlation coefficient in [-1, 1].
+
+    Degenerate (constant or numerically near-constant) series yield 0.0
+    rather than NaN, so reports stay well-defined.
+    """
+    p, m = _validate(np.fromiter(predicted, float), np.fromiter(measured, float))
+    if np.std(p) == 0 or np.std(m) == 0:
+        return 0.0
+    with np.errstate(invalid="ignore"):
+        value = float(stats.pearsonr(p, m).statistic)
+    return value if np.isfinite(value) else 0.0
+
+
+def spearman_cc(predicted: Iterable[float], measured: Iterable[float]) -> float:
+    """Spearman rank correlation coefficient in [-1, 1].
+
+    Degenerate series yield 0.0 rather than NaN (see :func:`pearson_cc`).
+    """
+    p, m = _validate(np.fromiter(predicted, float), np.fromiter(measured, float))
+    if np.std(p) == 0 or np.std(m) == 0:
+        return 0.0
+    with np.errstate(invalid="ignore"):
+        value = float(stats.spearmanr(p, m).statistic)
+    return value if np.isfinite(value) else 0.0
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """One row of Table 3/4: a predictor's accuracy on a benchmark set."""
+
+    predictor: str
+    machine: str
+    mape: float
+    pearson: float
+    spearman: float
+    num_experiments: int
+    predicted: tuple[float, ...]
+    measured: tuple[float, ...]
+
+    def row(self) -> dict[str, str]:
+        """Formatted table row matching the paper's layout."""
+        return {
+            "predictor": self.predictor,
+            "MAPE": f"{self.mape:.1f}%",
+            "Pearson CC": f"{self.pearson:.2f}",
+            "Spearman CC": f"{self.spearman:.2f}",
+        }
+
+
+def evaluate_predictor(
+    predictor: ThroughputPredictor,
+    benchmark: ExperimentSet,
+    machine_name: str = "",
+) -> AccuracyReport:
+    """Evaluate a predictor against measured experiments."""
+    experiments: Sequence[Experiment] = benchmark.experiments
+    measured = np.array(benchmark.throughputs)
+    predicted = np.array([predictor.predict(e) for e in experiments])
+    p, m = _validate(predicted, measured)
+    return AccuracyReport(
+        predictor=predictor.name,
+        machine=machine_name,
+        mape=mape(p, m),
+        pearson=pearson_cc(p, m),
+        spearman=spearman_cc(p, m),
+        num_experiments=len(experiments),
+        predicted=tuple(float(x) for x in p),
+        measured=tuple(float(x) for x in m),
+    )

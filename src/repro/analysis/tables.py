@@ -1,0 +1,65 @@
+"""Plain-text table rendering for bench output.
+
+Every bench prints the same rows the paper's tables report; this module
+keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.errors import ReproError
+
+__all__ = ["format_table", "format_kv_rows"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a header rule.
+
+    >>> print(format_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    if not headers:
+        raise ReproError("need at least one column")
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ReproError("row width does not match header width")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_kv_rows(rows: Mapping[str, Mapping[str, object]], title: str = "") -> str:
+    """Render ``{column -> {row-label -> value}}`` as a table.
+
+    Matches the paper's Table 2 layout: one column per machine, one row per
+    statistic.
+    """
+    if not rows:
+        raise ReproError("need at least one column")
+    columns = list(rows.keys())
+    labels: list[str] = []
+    for column in columns:
+        for label in rows[column]:
+            if label not in labels:
+                labels.append(label)
+    table_rows = [
+        [label] + [str(rows[column].get(label, "-")) for column in columns]
+        for label in labels
+    ]
+    return format_table([""] + columns, table_rows, title=title)

@@ -1,0 +1,15 @@
+"""Baseline predictors the paper compares against (Section 5.3/6)."""
+
+from repro.baselines.iaca import IACAPredictor
+from repro.baselines.ithemal import IthemalPredictor, TrainingConfig
+from repro.baselines.mca import LLVMMCAPredictor, mca_scheduling_model
+from repro.baselines.oracle import UopsInfoPredictor
+
+__all__ = [
+    "UopsInfoPredictor",
+    "IACAPredictor",
+    "LLVMMCAPredictor",
+    "mca_scheduling_model",
+    "IthemalPredictor",
+    "TrainingConfig",
+]

@@ -1,0 +1,208 @@
+"""Command line interface: ``repro-pmevo`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``infer``   — run the PMEvo pipeline against a machine preset and write
+  the inferred port mapping as JSON.
+* ``predict`` — predict the throughput of an experiment with a mapping file.
+* ``compare`` — evaluate a mapping (and the built-in baselines) on a random
+  benchmark set, printing a Table 3/4-style accuracy report.
+* ``show``    — pretty-print a mapping file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import evaluate_predictor, format_table
+from repro.baselines import LLVMMCAPredictor
+from repro.core import Experiment, ExperimentSet, ThreeLevelMapping
+from repro.machine import MeasurementConfig, preset_machine
+from repro.pmevo import (
+    EvolutionConfig,
+    PMEvoConfig,
+    infer_port_mapping,
+    random_experiments,
+)
+from repro.throughput import MappingPredictor
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pmevo",
+        description="PMEvo reproduction: infer and evaluate port mappings.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    infer = sub.add_parser("infer", help="infer a port mapping for a machine preset")
+    infer.add_argument("machine", choices=["SKL", "ZEN", "A72"], help="machine preset")
+    infer.add_argument("--output", "-o", type=Path, required=True, help="mapping JSON path")
+    infer.add_argument("--forms", type=int, default=40, help="number of instruction forms")
+    infer.add_argument("--population", type=int, default=200, help="EA population size")
+    infer.add_argument("--generations", type=int, default=120, help="EA max generations")
+    infer.add_argument("--epsilon", type=float, default=0.05, help="congruence tolerance")
+    infer.add_argument("--seed", type=int, default=0, help="random seed")
+
+    predict = sub.add_parser("predict", help="predict throughput of an experiment")
+    predict.add_argument("mapping", type=Path, help="mapping JSON path")
+    predict.add_argument(
+        "experiment",
+        nargs="+",
+        help="experiment as name=count pairs, e.g. add_r64rw_r64=2",
+    )
+
+    compare = sub.add_parser("compare", help="evaluate a mapping against baselines")
+    compare.add_argument("machine", choices=["SKL", "ZEN", "A72"])
+    compare.add_argument("mapping", type=Path, help="mapping JSON path")
+    compare.add_argument("--count", type=int, default=200, help="benchmark experiments")
+    compare.add_argument("--size", type=int, default=5, help="experiment size")
+    compare.add_argument("--seed", type=int, default=0)
+
+    show = sub.add_parser("show", help="pretty-print a mapping file")
+    show.add_argument("mapping", type=Path)
+
+    diff = sub.add_parser("diff", help="compare two mapping files")
+    diff.add_argument("first", type=Path)
+    diff.add_argument("second", type=Path)
+
+    export = sub.add_parser("export", help="export a mapping for downstream tools")
+    export.add_argument("mapping", type=Path)
+    export.add_argument(
+        "--format",
+        choices=["llvm", "osaca", "json"],
+        default="llvm",
+        help="output flavour (default: llvm scheduling-model snippet)",
+    )
+    return parser
+
+
+def _subsample_names(machine, count: int, seed: int) -> list[str]:
+    """A deterministic, class-diverse subsample of instruction forms."""
+    import numpy as np
+
+    names = list(machine.isa.names)
+    if count >= len(names):
+        return names
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(names), size=count, replace=False)
+    return [names[i] for i in sorted(picks)]
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    machine = preset_machine(args.machine, MeasurementConfig(seed=args.seed))
+    names = _subsample_names(machine, args.forms, args.seed)
+    config = PMEvoConfig(
+        epsilon=args.epsilon,
+        evolution=EvolutionConfig(
+            population_size=args.population,
+            max_generations=args.generations,
+            seed=args.seed,
+        ),
+    )
+    print(f"inferring port mapping for {machine.describe()}")
+    print(f"instruction forms: {len(names)}")
+    result = infer_port_mapping(machine, names=names, config=config)
+    args.output.write_text(result.mapping.to_json())
+    stats = result.table2_row()
+    print(format_table(["statistic", "value"], list(stats.items())))
+    print(f"D_avg on training experiments: {result.evolution.davg:.4f}")
+    print(f"mapping written to {args.output}")
+    return 0
+
+
+def _parse_experiment(tokens: list[str]) -> Experiment:
+    counts: dict[str, int] = {}
+    for token in tokens:
+        name, _, count_text = token.partition("=")
+        counts[name] = counts.get(name, 0) + (int(count_text) if count_text else 1)
+    return Experiment(counts)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    mapping = ThreeLevelMapping.from_json(args.mapping.read_text())
+    experiment = _parse_experiment(args.experiment)
+    predictor = MappingPredictor(mapping, name=str(args.mapping))
+    print(f"{predictor.predict(experiment):.4f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    machine = preset_machine(args.machine, MeasurementConfig(seed=args.seed))
+    mapping = ThreeLevelMapping.from_json(args.mapping.read_text())
+    names = [n for n in mapping.instructions if n in machine.isa]
+    if not names:
+        print("mapping covers no instructions of this machine's ISA", file=sys.stderr)
+        return 1
+    experiments = random_experiments(names, size=args.size, count=args.count, seed=args.seed)
+    bench = ExperimentSet()
+    for experiment in experiments:
+        bench.add(experiment, machine.measure(experiment))
+    predictors = [MappingPredictor(mapping, name="PMEvo"), LLVMMCAPredictor(machine)]
+    rows = []
+    for predictor in predictors:
+        report = evaluate_predictor(predictor, bench, machine.name)
+        row = report.row()
+        rows.append([row["predictor"], row["MAPE"], row["Pearson CC"], row["Spearman CC"]])
+    print(
+        format_table(
+            ["predictor", "MAPE", "Pearson CC", "Spearman CC"],
+            rows,
+            title=f"accuracy on {machine.name} ({args.count} experiments of size {args.size})",
+        )
+    )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    mapping = ThreeLevelMapping.from_json(args.mapping.read_text())
+    print(mapping.describe())
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis import mapping_diff
+
+    first = ThreeLevelMapping.from_json(args.first.read_text())
+    second = ThreeLevelMapping.from_json(args.second.read_text())
+    comparison = mapping_diff(first, second, args.first.name, args.second.name)
+    print(f"behavioural distance: {comparison.behavioural_distance:.4f}")
+    print(f"equivalent up to port renaming: {comparison.structurally_equivalent}")
+    if comparison.permutation is not None:
+        print(f"port permutation: {comparison.permutation}")
+    print(comparison.diff_text)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis import to_llvm_sched_model, to_osaca_table
+
+    mapping = ThreeLevelMapping.from_json(args.mapping.read_text())
+    if args.format == "llvm":
+        print(to_llvm_sched_model(mapping), end="")
+    elif args.format == "osaca":
+        print(to_osaca_table(mapping), end="")
+    else:
+        print(mapping.to_json())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "infer": _cmd_infer,
+        "predict": _cmd_predict,
+        "compare": _cmd_compare,
+        "show": _cmd_show,
+        "diff": _cmd_diff,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

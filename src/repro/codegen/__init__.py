@@ -1,0 +1,22 @@
+"""Benchmark code generation: operand allocation and loop unrolling (§4.2)."""
+
+from repro.codegen.assembly import (
+    Immediate,
+    InstructionInstance,
+    MemoryRef,
+    Register,
+)
+from repro.codegen.loop import TARGET_BODY_LENGTH, build_loop_body, interleaved_forms
+from repro.codegen.regalloc import AllocationConfig, RegisterAllocator
+
+__all__ = [
+    "Register",
+    "MemoryRef",
+    "Immediate",
+    "InstructionInstance",
+    "RegisterAllocator",
+    "AllocationConfig",
+    "build_loop_body",
+    "interleaved_forms",
+    "TARGET_BODY_LENGTH",
+]

@@ -1,0 +1,129 @@
+"""Concrete instruction instances ("assembly").
+
+The machine simulator does not execute instruction *forms* — it executes
+*instances*: forms whose register/memory/immediate placeholders have been
+filled with concrete operands.  Dependencies between instances arise solely
+from registers (including memory base registers), mirroring how the paper's
+generated microbenchmarks behave once operands are allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ISAError
+from repro.core.isa import InstructionForm, OperandKind
+
+__all__ = ["Register", "MemoryRef", "Immediate", "InstructionInstance"]
+
+
+@dataclass(frozen=True)
+class Register:
+    """A concrete architectural register: class + index, e.g. ``gpr:3``."""
+
+    kind: OperandKind
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (OperandKind.GPR, OperandKind.VEC):
+            raise ISAError(f"register kind must be GPR or VEC, got {self.kind}")
+        if self.index < 0:
+            raise ISAError(f"register index must be non-negative, got {self.index}")
+
+    def render(self) -> str:
+        prefix = "r" if self.kind is OperandKind.GPR else "v"
+        return f"{prefix}{self.index}"
+
+
+@dataclass(frozen=True)
+class MemoryRef:
+    """A memory operand: base register plus constant byte offset."""
+
+    base: Register
+    offset: int
+
+    def render(self) -> str:
+        return f"[{self.base.render()}+{self.offset}]"
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """An immediate constant operand."""
+
+    value: int
+
+    def render(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Register | MemoryRef | Immediate
+
+
+@dataclass(frozen=True)
+class InstructionInstance:
+    """An instruction form with concrete operands.
+
+    Attributes
+    ----------
+    form:
+        The instruction form being instantiated.
+    operands:
+        Concrete operands, one per placeholder, kind-compatible with the
+        form's :class:`~repro.core.isa.OperandSpec` list.
+    """
+
+    form: InstructionForm
+    operands: tuple[Operand, ...]
+
+    def __post_init__(self) -> None:
+        specs = self.form.operands
+        if len(specs) != len(self.operands):
+            raise ISAError(
+                f"{self.form.name}: expected {len(specs)} operands, "
+                f"got {len(self.operands)}"
+            )
+        for spec, operand in zip(specs, self.operands):
+            if spec.kind in (OperandKind.GPR, OperandKind.VEC):
+                if not isinstance(operand, Register) or operand.kind is not spec.kind:
+                    raise ISAError(
+                        f"{self.form.name}: operand {operand!r} does not match "
+                        f"register placeholder {spec.render()}"
+                    )
+            elif spec.kind is OperandKind.MEM:
+                if not isinstance(operand, MemoryRef):
+                    raise ISAError(
+                        f"{self.form.name}: operand {operand!r} is not a memory ref"
+                    )
+            elif spec.kind is OperandKind.IMM:
+                if not isinstance(operand, Immediate):
+                    raise ISAError(
+                        f"{self.form.name}: operand {operand!r} is not an immediate"
+                    )
+
+    def read_registers(self) -> tuple[Register, ...]:
+        """Registers this instance reads, including memory base registers."""
+        reads: list[Register] = []
+        for spec, operand in zip(self.form.operands, self.operands):
+            if isinstance(operand, MemoryRef):
+                reads.append(operand.base)
+            elif isinstance(operand, Register) and spec.is_read:
+                reads.append(operand)
+        return tuple(reads)
+
+    def written_registers(self) -> tuple[Register, ...]:
+        """Registers this instance writes."""
+        return tuple(
+            operand
+            for spec, operand in zip(self.form.operands, self.operands)
+            if isinstance(operand, Register) and spec.is_written
+        )
+
+    def render(self) -> str:
+        """Assembly-like text, e.g. ``add r3, r7``."""
+        if not self.operands:
+            return self.form.mnemonic
+        args = ", ".join(op.render() for op in self.operands)
+        return f"{self.form.mnemonic} {args}"
+
+    def __repr__(self) -> str:
+        return f"InstructionInstance({self.render()!r})"

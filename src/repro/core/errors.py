@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MappingError(ReproError):
+    """Raised for structurally invalid port mappings.
+
+    Examples: an instruction with no µops, a µop that can execute on no
+    port, an edge referring to an unknown instruction or port.
+    """
+
+
+class ExperimentError(ReproError):
+    """Raised for invalid experiments (empty multisets, negative counts)."""
+
+
+class ISAError(ReproError):
+    """Raised for inconsistent ISA descriptions or unknown instruction forms."""
+
+
+class MeasurementError(ReproError):
+    """Raised when a machine measurement cannot be carried out."""
+
+
+class SolverError(ReproError):
+    """Raised when the LP solver fails to produce an optimal solution."""
+
+
+class InferenceError(ReproError):
+    """Raised when the evolutionary inference is misconfigured."""

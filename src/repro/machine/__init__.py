@@ -1,0 +1,43 @@
+"""Simulated processors: the hardware substitute for the paper's machines."""
+
+from repro.machine.config import (
+    BackendConfig,
+    DecodedUop,
+    ExecutionClass,
+    FrontendConfig,
+    MachineConfig,
+    UopSpec,
+)
+from repro.machine.isagen import arm_like_isa, toy_isa, x86_like_isa
+from repro.machine.measurement import Machine, MeasurementConfig
+from repro.machine.presets import (
+    PRESET_NAMES,
+    a72_machine,
+    preset_machine,
+    skl_machine,
+    toy_machine,
+    zen_machine,
+)
+from repro.machine.processor import Processor, SimulationResult
+
+__all__ = [
+    "UopSpec",
+    "ExecutionClass",
+    "FrontendConfig",
+    "BackendConfig",
+    "MachineConfig",
+    "DecodedUop",
+    "Processor",
+    "SimulationResult",
+    "Machine",
+    "MeasurementConfig",
+    "x86_like_isa",
+    "arm_like_isa",
+    "toy_isa",
+    "skl_machine",
+    "zen_machine",
+    "a72_machine",
+    "toy_machine",
+    "preset_machine",
+    "PRESET_NAMES",
+]

@@ -1,0 +1,392 @@
+"""Generated instruction set descriptions.
+
+The paper derives its instruction forms from what compilers emit for SPEC
+CPU 2017: 310 x86-64 forms and 390 ARMv8-A forms (Section 5.1.2), excluding
+branches, implicit-read instructions, SSE, and sub-register variants.  We
+have no proprietary compiler output to harvest, so the forms are *generated*
+from mnemonic × operand-scheme tables with the same flavour and comparable
+size.  Form counts: :func:`x86_like_isa` yields ~310 forms,
+:func:`arm_like_isa` ~390 forms.
+
+Each mnemonic row specifies which operand schemes exist for it and which
+*semantic class* the resulting forms belong to.  Semantic classes are the
+hook machine presets use to attach ground-truth µop decompositions; several
+mnemonics sharing a class is exactly what makes congruence filtering
+(Section 4.3) effective on real ISAs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.isa import ISA, InstructionForm, OperandSpec, make_form
+from repro.core.isa import gpr, imm, mem, vec
+
+__all__ = ["x86_like_isa", "arm_like_isa", "toy_isa"]
+
+
+def _expand(
+    isa: ISA,
+    mnemonics: Iterable[str],
+    schemes: Sequence[tuple[str, Sequence[OperandSpec]]],
+    semantic_class: str,
+    latency_class: str = "",
+) -> None:
+    """Add ``mnemonic × scheme`` forms to ``isa``.
+
+    ``schemes`` pairs a short scheme tag (only used to disambiguate names)
+    with the operand spec list.
+    """
+    for mnemonic in mnemonics:
+        for _tag, operands in schemes:
+            isa.add(
+                make_form(
+                    mnemonic,
+                    operands,
+                    semantic_class,
+                    latency_class=latency_class,
+                )
+            )
+
+
+# Common operand schemes, named after their rough x86/ARM syntax.
+def _rr(width: int) -> list[OperandSpec]:
+    return [gpr(width, read=True, write=True), gpr(width)]
+
+
+def _rrr(width: int) -> list[OperandSpec]:
+    return [gpr(width, write=True, read=False), gpr(width), gpr(width)]
+
+
+def _ri(width: int) -> list[OperandSpec]:
+    return [gpr(width, read=True, write=True), imm()]
+
+
+def _rm(width: int) -> list[OperandSpec]:
+    return [gpr(width, read=True, write=True), mem(width)]
+
+
+def _vv(width: int) -> list[OperandSpec]:
+    return [vec(width, write=True, read=False), vec(width), vec(width)]
+
+
+def _vv2(width: int) -> list[OperandSpec]:
+    return [vec(width, write=True, read=False), vec(width)]
+
+
+def x86_like_isa() -> ISA:
+    """An x86-64-flavoured ISA of ~310 instruction forms.
+
+    AVX-style three-operand vector instructions at 128/256 bits, two-operand
+    integer ALU instructions at 32/64 bits, explicit-operand multiplies and
+    divides, loads, stores and address generation.  Branches and
+    implicit-operand instructions are omitted, as in the paper.
+    """
+    isa = ISA("x86-like")
+    gpr_widths = (32, 64)
+    vec_widths = (128, 256)
+
+    # Integer ALU: reg-reg, reg-imm and reg-mem (the mem variant carries an
+    # extra load µop on every machine preset).
+    alu = ["add", "sub", "and", "or", "xor", "cmp", "test", "mov"]
+    for w in gpr_widths:
+        _expand(isa, alu, [("rr", _rr(w))], "int_alu")
+        _expand(isa, alu, [("ri", _ri(w))], "int_alu")
+        _expand(isa, alu, [("rm", _rm(w))], "int_alu_load")
+    unary = ["neg", "not", "inc", "dec", "bswap"]
+    for w in gpr_widths:
+        _expand(isa, unary, [("r", [gpr(w, read=True, write=True)])], "int_alu")
+
+    # Shifts and rotates live on a narrower port group on most cores.
+    shifts = ["shl", "shr", "sar", "rol", "ror"]
+    for w in gpr_widths:
+        _expand(isa, shifts, [("ri", _ri(w))], "int_shift")
+        _expand(isa, shifts, [("rr", _rr(w))], "int_shift")
+
+    # BMI-style flagless shifts and bit manipulation (three-operand).
+    for w in gpr_widths:
+        _expand(isa, ["shlx", "shrx", "sarx"], [("rrr", _rrr(w))], "int_shift")
+        _expand(isa, ["rorx"], [("rri", [gpr(w, write=True, read=False), gpr(w), imm()])], "int_shift")
+        _expand(isa, ["andn", "bzhi"], [("rrr", _rrr(w))], "int_alu")
+        _expand(isa, ["blsi", "blsmsk", "blsr"], [("rr", [gpr(w, write=True, read=False), gpr(w)])], "int_alu")
+        _expand(isa, ["pdep", "pext"], [("rrr", _rrr(w))], "int_mul")
+
+    # Bit test family — the quirky BTx instructions of Section 5.3.1.
+    btx = ["bt", "bts", "btr", "btc"]
+    for w in gpr_widths:
+        _expand(isa, btx, [("rr", _rr(w))], "bt")
+        _expand(isa, btx, [("ri", _ri(w))], "bt")
+
+    # Multiplies, divides, address generation.
+    for w in gpr_widths:
+        _expand(isa, ["imul"], [("rr", _rr(w)), ("rri", _rrr(w)[:2] + [imm()])], "int_mul")
+        _expand(isa, ["crc32"], [("rr", _rr(w))], "int_mul")
+        _expand(isa, ["div", "idiv"], [("rr", _rr(w))], "int_div")
+        _expand(isa, ["lea"], [("rm", [gpr(w, write=True, read=False), mem(w)])], "lea")
+        _expand(isa, ["popcnt", "lzcnt", "tzcnt"], [("rr", _rr(w))], "bit_count")
+        _expand(isa, ["movzx", "movsx"], [("rr", _rr(w))], "int_alu")
+        conditions = ["cmova", "cmovb", "cmove", "cmovne", "cmovg", "cmovl"]
+        _expand(isa, conditions, [("rr", _rr(w))], "cmov")
+
+    # Scalar loads and stores (including immediate stores and memory
+    # compares, which combine a load/store µop with an ALU µop).
+    for w in gpr_widths:
+        _expand(isa, ["load"], [("rm", [gpr(w, write=True, read=False), mem(w)])], "load_gpr")
+        _expand(isa, ["store"], [("mr", [mem(w), gpr(w)])], "store_gpr")
+        _expand(isa, ["store_imm"], [("mi", [mem(w), imm()])], "store_gpr")
+        _expand(isa, ["cmp_mem"], [("mi", [mem(w), imm()])], "int_alu_load")
+        _expand(isa, ["mov_imm"], [("ri", [gpr(w, write=True, read=False), imm()])], "int_alu")
+
+    # Vector (AVX-like, three-operand, 128/256 bit).
+    vec_alu = [
+        "vpand", "vpor", "vpxor", "vpandn",
+        "vpaddb", "vpaddw", "vpaddd", "vpaddq",
+        "vpsubb", "vpsubw", "vpsubd", "vpsubq",
+        "vpmaxsd", "vpminsd", "vpmaxub", "vpminub",
+    ]
+    vec_fp_add = ["vaddps", "vaddpd", "vsubps", "vsubpd"]
+    vec_fp_mul = ["vmulps", "vmulpd"]
+    vec_fma = ["vfmadd213ps", "vfmadd213pd", "vfnmadd213ps", "vfmsub213ps"]
+    vec_minmax = ["vminps", "vmaxps", "vminpd", "vmaxpd"]
+    vec_logic_fp = ["vandps", "vandpd", "vandnps", "vorps", "vorpd", "vxorps", "vxorpd"]
+    vec_shuffle = [
+        "vshufps", "vshufpd", "vpermilps", "vpermilpd",
+        "vunpckhps", "vunpcklps", "vunpckhpd", "vunpcklpd",
+        "vpshufd", "vpshufb",
+    ]
+    vec_blend = ["vblendps", "vblendpd", "vpblendvb"]
+    vec_cmp = ["vcmpps", "vcmppd", "vpcmpeqd", "vpcmpgtd"]
+    vec_imul = ["vpmulld", "vpmuludq"]
+    vec_shift = ["vpslld", "vpsrld", "vpsrad", "vpsllq", "vpsrlq"]
+    # Vector classes are width-tagged (``vec_fp_add@256``) so machine
+    # presets can double-pump wide operations (Zen+ splits 256-bit AVX into
+    # two 128-bit µops; Cortex-A72 splits 128-bit NEON similarly).
+    for w in vec_widths:
+        _expand(isa, vec_alu, [("vvv", _vv(w))], f"vec_logic@{w}")
+        _expand(isa, vec_logic_fp, [("vvv", _vv(w))], f"vec_logic@{w}")
+        _expand(isa, vec_fp_add, [("vvv", _vv(w))], f"vec_fp_add@{w}")
+        _expand(isa, vec_fp_mul, [("vvv", _vv(w))], f"vec_fp_mul@{w}")
+        _expand(isa, vec_fma, [("vvv", _vv(w))], f"vec_fma@{w}")
+        _expand(isa, vec_minmax, [("vvv", _vv(w))], f"vec_fp_add@{w}")
+        _expand(isa, vec_shuffle, [("vvv", _vv(w))], f"vec_shuffle@{w}")
+        _expand(isa, vec_blend, [("vvv", _vv(w))], f"vec_blend@{w}")
+        _expand(isa, vec_cmp, [("vvv", _vv(w))], f"vec_fp_add@{w}")
+        _expand(isa, vec_imul, [("vvv", _vv(w))], f"vec_imul@{w}")
+        _expand(isa, vec_shift, [("vvv", _vv(w))], f"vec_shift@{w}")
+        _expand(isa, ["vhaddps", "vhaddpd"], [("vvv", _vv(w))], f"vec_hadd@{w}")
+        _expand(isa, ["vdivps", "vdivpd"], [("vvv", _vv(w))], f"vec_div@{w}")
+        _expand(isa, ["vsqrtps", "vsqrtpd"], [("vv", _vv2(w))], f"vec_div@{w}")
+        _expand(isa, ["vrcpps", "vrsqrtps"], [("vv", _vv2(w))], f"vec_cvt@{w}")
+        _expand(
+            isa,
+            ["vcvtdq2ps", "vcvtps2dq", "vcvttps2dq"],
+            [("vv", _vv2(w))],
+            f"vec_cvt@{w}",
+        )
+        _expand(
+            isa,
+            ["vmovaps_load", "vmovdqu_load", "vbroadcastss"],
+            [("vm", [vec(w, write=True, read=False), mem(w)])],
+            f"load_vec@{w}",
+        )
+        _expand(
+            isa,
+            ["vmovaps_store", "vmovdqu_store"],
+            [("mv", [mem(w), vec(w)])],
+            f"store_vec@{w}",
+        )
+        _expand(
+            isa,
+            ["vaddps_mem", "vpand_mem", "vmulps_mem"],
+            [("vvm", [vec(w, write=True, read=False), vec(w), mem(w)])],
+            f"vec_alu_load@{w}",
+        )
+    # 256-bit-only lane-crossing shuffles.
+    _expand(isa, ["vperm2f128", "vinsertf128"], [("vvv", _vv(256))], "vec_shuffle@256")
+    _expand(isa, ["vextractf128"], [("vv", _vv2(256))], "vec_shuffle@256")
+
+    # GPR <-> vector domain crossing.
+    _expand(isa, ["vmovd"], [("vr", [vec(128, write=True, read=False), gpr(32)])], "mov_cross")
+    _expand(isa, ["vmovq"], [("vr", [vec(128, write=True, read=False), gpr(64)])], "mov_cross")
+    _expand(isa, ["vmovd_rv"], [("rv", [gpr(32, write=True, read=False), vec(128)])], "mov_cross")
+    _expand(isa, ["vmovq_rv"], [("rv", [gpr(64, write=True, read=False), vec(128)])], "mov_cross")
+    return isa
+
+
+def arm_like_isa() -> ISA:
+    """An ARMv8-A-flavoured ISA of ~390 instruction forms.
+
+    Three-operand integer arithmetic at 32/64 bits (optionally shifted or
+    immediate), multiply-accumulate, explicit divides, NEON-style vector
+    arithmetic at 64/128 bits, scalar FP, and load/store forms.
+    """
+    isa = ISA("arm-like")
+    gpr_widths = (32, 64)
+    vec_widths = (64, 128)
+
+    def rrr(w: int) -> list[OperandSpec]:
+        return _rrr(w)
+
+    def rri(w: int) -> list[OperandSpec]:
+        return [gpr(w, write=True, read=False), gpr(w), imm()]
+
+    alu = ["add", "sub", "and", "orr", "eor", "bic", "orn", "eon"]
+    flag_setting = ["adds", "subs", "ands"]
+    for w in gpr_widths:
+        _expand(isa, alu, [("rrr", rrr(w)), ("rri", rri(w))], "int_alu")
+        _expand(isa, flag_setting, [("rrr", rrr(w)), ("rri", rri(w))], "int_alu")
+    # Shifted-register variants occupy the shifter pipeline.
+    for w in gpr_widths:
+        _expand(
+            isa,
+            ["add_lsl", "sub_lsl", "and_lsl", "orr_lsl", "eor_lsl", "bic_lsl"],
+            [("rrr", rrr(w))],
+            "int_alu_shift",
+        )
+    _expand(isa, ["cmp", "cmn", "tst"], [("rr64", [gpr(64), gpr(64)]), ("rr32", [gpr(32), gpr(32)])], "int_alu")
+    for w in gpr_widths:
+        _expand(isa, ["lsl", "lsr", "asr", "ror"], [("rrr", rrr(w)), ("rri", rri(w))], "int_shift")
+        _expand(isa, ["sbfx", "ubfx", "bfi"], [("rri", rri(w))], "int_shift")
+        _expand(isa, ["extr"], [("rrri", rrr(w) + [imm()])], "int_shift")
+        _expand(isa, ["csel", "csinc", "csinv", "csneg"], [("rrr", rrr(w))], "cmov")
+        _expand(isa, ["ccmp"], [("rri", [gpr(w), gpr(w), imm()])], "cmov")
+        _expand(
+            isa,
+            ["rbit", "rev", "rev16", "clz"],
+            [("rr", [gpr(w, write=True, read=False), gpr(w)])],
+            "bit_count",
+        )
+        _expand(isa, ["mov", "mvn"], [("rr", [gpr(w, write=True, read=False), gpr(w)]), ("ri", [gpr(w, write=True, read=False), imm()])], "int_alu")
+        _expand(isa, ["movz", "movn", "movk"], [("ri", [gpr(w, write=True, read=False), imm()])], "int_alu")
+        _expand(isa, ["mul", "mneg"], [("rrr", rrr(w))], "int_mul")
+        _expand(isa, ["crc32", "crc32c"], [("rrr", rrr(w))], "int_mul")
+        _expand(
+            isa,
+            ["madd", "msub"],
+            [("rrrr", [gpr(w, write=True, read=False), gpr(w), gpr(w), gpr(w)])],
+            "int_madd",
+        )
+        _expand(isa, ["udiv", "sdiv"], [("rrr", rrr(w))], "int_div")
+        _expand(isa, ["ldr"], [("rm", [gpr(w, write=True, read=False), mem(w)])], "load_gpr")
+        _expand(
+            isa,
+            ["ldrb", "ldrh", "ldrsb", "ldrsh", "ldrsw"],
+            [("rm", [gpr(w, write=True, read=False), mem(w)])],
+            "load_gpr",
+        )
+        _expand(isa, ["str"], [("mr", [mem(w), gpr(w)])], "store_gpr")
+        _expand(isa, ["strb", "strh"], [("mr", [mem(w), gpr(w)])], "store_gpr")
+        _expand(
+            isa,
+            ["ldp"],
+            [("rrm", [gpr(w, write=True, read=False), gpr(w, write=True, read=False), mem(w)])],
+            "load_pair",
+        )
+        _expand(isa, ["stp"], [("mrr", [mem(w), gpr(w), gpr(w)])], "store_pair")
+    _expand(isa, ["smull", "umull", "smulh", "umulh"], [("rrr", [gpr(64, write=True, read=False), gpr(32), gpr(32)])], "int_mul")
+    _expand(
+        isa,
+        ["smaddl", "umaddl"],
+        [("rrrr", [gpr(64, write=True, read=False), gpr(32), gpr(32), gpr(64)])],
+        "int_madd",
+    )
+    _expand(isa, ["adr", "adrp"], [("rm", [gpr(64, write=True, read=False), mem(64)])], "lea")
+
+    # NEON vector forms.
+    neon_int = [
+        "add_v", "sub_v", "and_v", "orr_v", "eor_v", "bic_v", "orn_v",
+        "sqadd_v", "uqadd_v", "sqsub_v", "uqsub_v",
+        "smax_v", "smin_v", "umax_v", "umin_v", "addp_v",
+    ]
+    neon_int_unary = ["abs_v", "neg_v", "mvn_v"]
+    neon_fp_add = ["fadd_v", "fsub_v", "fmax_v", "fmin_v", "fabd_v"]
+    neon_fp_mul = ["fmul_v", "fmulx_v"]
+    neon_fma = ["fmla_v", "fmls_v", "fmla_elem", "fmls_elem"]
+    neon_shuffle = [
+        "zip1", "zip2", "uzp1", "uzp2", "trn1", "trn2", "ext",
+        "rev64_v", "tbl", "addv", "fmaxv",
+    ]
+    neon_cmp = [
+        "cmeq_v", "cmgt_v", "cmge_v", "cmhi_v", "cmhs_v",
+        "fcmeq_v", "fcmgt_v", "fcmge_v",
+    ]
+    neon_imul = ["mul_v", "sqdmulh_v"]
+    neon_shift = ["shl_v", "sshr_v", "ushr_v", "sshl_v"]
+    for w in vec_widths:
+        _expand(isa, neon_int, [("vvv", _vv(w))], f"vec_logic@{w}")
+        _expand(isa, neon_int_unary, [("vv", _vv2(w))], f"vec_logic@{w}")
+        _expand(isa, neon_fp_add, [("vvv", _vv(w))], f"vec_fp_add@{w}")
+        _expand(isa, neon_fp_mul, [("vvv", _vv(w))], f"vec_fp_mul@{w}")
+        _expand(isa, neon_fma, [("vvv", _vv(w))], f"vec_fma@{w}")
+        _expand(isa, neon_shuffle, [("vvv", _vv(w))], f"vec_shuffle@{w}")
+        _expand(isa, ["dup_v", "ins_v"], [("vv", _vv2(w))], f"vec_shuffle@{w}")
+        _expand(isa, neon_cmp, [("vvv", _vv(w))], f"vec_fp_add@{w}")
+        _expand(isa, neon_imul, [("vvv", _vv(w))], f"vec_imul@{w}")
+        _expand(isa, neon_shift, [("vvv", _vv(w))], f"vec_shift@{w}")
+        _expand(isa, ["fneg_v", "fabs_v"], [("vv", _vv2(w))], f"vec_logic@{w}")
+        _expand(isa, ["fdiv_v"], [("vvv", _vv(w))], f"vec_div@{w}")
+        _expand(isa, ["fsqrt_v"], [("vv", _vv2(w))], f"vec_div@{w}")
+        _expand(isa, ["frecpe_v", "frsqrte_v"], [("vv", _vv2(w))], f"vec_cvt@{w}")
+        _expand(isa, ["scvtf_v", "fcvtzs_v", "ucvtf_v"], [("vv", _vv2(w))], f"vec_cvt@{w}")
+        _expand(isa, ["ld1"], [("vm", [vec(w, write=True, read=False), mem(w)])], f"load_vec@{w}")
+        _expand(isa, ["st1"], [("mv", [mem(w), vec(w)])], f"store_vec@{w}")
+        _expand(
+            isa,
+            ["ld2"],
+            [("vvm", [vec(w, write=True, read=False), vec(w, write=True, read=False), mem(w)])],
+            f"load_interleave@{w}",
+        )
+        _expand(isa, ["st2"], [("mvv", [mem(w), vec(w), vec(w)])], f"store_interleave@{w}")
+    # Cross-domain moves (GPR <-> SIMD).
+    _expand(isa, ["umov"], [("rv", [gpr(64, write=True, read=False), vec(128)])], "mov_cross")
+    _expand(isa, ["smov"], [("rv", [gpr(32, write=True, read=False), vec(128)])], "mov_cross")
+    _expand(isa, ["dup_gpr"], [("vr", [vec(128, write=True, read=False), gpr(64)])], "mov_cross")
+
+    # Scalar FP (on the vector pipes, like Cortex-A72); width-independent.
+    for w in (32, 64):
+        _expand(
+            isa,
+            ["fadd", "fsub", "fmax", "fmin", "fnmul_add"],
+            [("vvv", _vv(w))],
+            "fp_add",
+        )
+        _expand(isa, ["fmul", "fnmul"], [("vvv", _vv(w))], "fp_mul")
+        _expand(
+            isa,
+            ["fmadd", "fmsub", "fnmadd", "fnmsub"],
+            [("vvvv", [vec(w, write=True, read=False), vec(w), vec(w), vec(w)])],
+            "fp_fma",
+        )
+        _expand(isa, ["fdiv"], [("vvv", _vv(w))], "fp_div")
+        _expand(isa, ["fsqrt"], [("vv", _vv2(w))], "fp_div")
+        _expand(
+            isa,
+            ["fcvt", "scvtf", "fcvtzs", "frintz", "frintp", "frintm"],
+            [("vv", _vv2(w))],
+            "fp_cvt",
+        )
+        _expand(isa, ["fmov", "fneg", "fabs"], [("vv", _vv2(w))], "fp_mov")
+        _expand(isa, ["fcsel"], [("vvv", _vv(w))], "fp_mov")
+        _expand(isa, ["ldr_fp", "ldur_fp"], [("vm", [vec(w, write=True, read=False), mem(w)])], "load_fp")
+        _expand(isa, ["str_fp", "stur_fp"], [("mv", [mem(w), vec(w)])], "store_fp")
+    return isa
+
+
+def toy_isa(num_classes: int = 4, forms_per_class: int = 2) -> ISA:
+    """A tiny synthetic ISA for tests and examples.
+
+    Classes are named ``c0 .. c{n-1}``; forms ``c{i}_f{j}`` are plain
+    two-operand register instructions.  Machine presets for toy machines
+    assign decompositions per class.
+    """
+    isa = ISA("toy")
+    for cls in range(num_classes):
+        for j in range(forms_per_class):
+            isa.add(
+                make_form(
+                    f"c{cls}op{j}",
+                    _rr(64),
+                    f"class{cls}",
+                )
+            )
+    return isa

@@ -1,0 +1,283 @@
+"""The evolutionary algorithm (Algorithm 1 of the paper).
+
+Structure::
+
+    initialize population randomly
+    while not done:
+        apply evolutionary operators       (recombination; mutation is an
+        evaluate fitness                    ablation-only option)
+        select new population
+    perform local search
+    return fittest individual
+
+Fitness evaluation is the hot loop; candidates are evaluated in batches via
+:class:`repro.throughput.BatchedThroughputEvaluator` (the vectorized
+bottleneck simulation algorithm).  Termination: the population's objectives
+have converged to a single value, the best candidate stopped improving for
+``patience`` generations, or ``max_generations`` is reached.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InferenceError
+from repro.core.experiment import ExperimentSet
+from repro.core.mapping import ThreeLevelMapping
+from repro.core.ports import PortSpace
+from repro.pmevo.fitness import scalarized_fitness
+from repro.pmevo.localsearch import local_search
+from repro.pmevo.operators import mutate, recombine
+from repro.pmevo.population import (
+    Genome,
+    genome_key,
+    genome_to_mapping,
+    genome_volume,
+    random_population,
+)
+from repro.throughput.batched import BatchedThroughputEvaluator
+
+__all__ = ["EvolutionConfig", "GenerationStats", "EvolutionResult", "PortMappingEvolver"]
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Hyper-parameters of the evolutionary algorithm.
+
+    ``population_size`` is the paper's ``p``: each generation creates ``p``
+    children and selects the best ``p`` of the combined ``2p`` candidates.
+    ``mutation_rate > 0`` enables the ablation-only mutation operator.
+    """
+
+    population_size: int = 100
+    max_generations: int = 150
+    patience: int = 25
+    convergence_tolerance: float = 1e-9
+    mutation_rate: float = 0.0
+    local_search_rounds: int = 2
+    seed: int = 0
+    batch_chunk: int = 16
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise InferenceError("population size must be at least 2")
+        if self.max_generations < 1:
+            raise InferenceError("need at least one generation")
+        if self.batch_chunk < 1:
+            raise InferenceError("batch chunk must be positive")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise InferenceError("mutation rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Objective summary of one generation (after selection)."""
+
+    generation: int
+    best_davg: float
+    median_davg: float
+    best_volume: float
+    evaluations: int
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of one evolutionary inference run."""
+
+    mapping: ThreeLevelMapping
+    genome: Genome
+    davg: float
+    volume: int
+    generations: int
+    evaluations: int
+    wall_seconds: float
+    history: list[GenerationStats] = field(default_factory=list)
+    converged: bool = False
+
+
+class PortMappingEvolver:
+    """Runs the evolutionary search for one machine's experiment data.
+
+    Parameters
+    ----------
+    ports:
+        The port space candidates map onto (the user supplies |P|,
+        Section 4.4: "The sets I of Instructions and P of Ports are given
+        by the user").
+    measurements:
+        Measured experiments over the (congruence-filtered) instruction
+        universe.
+    singleton_throughputs:
+        Measured individual throughputs, used by initialization bounds.
+    config:
+        Hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        ports: PortSpace,
+        measurements: ExperimentSet,
+        singleton_throughputs: Mapping[str, float],
+        config: EvolutionConfig | None = None,
+    ):
+        self.ports = ports
+        self.config = config or EvolutionConfig()
+        self.names: tuple[str, ...] = tuple(measurements.instruction_names())
+        if not self.names:
+            raise InferenceError("measurement set covers no instructions")
+        missing = [n for n in self.names if n not in singleton_throughputs]
+        if missing:
+            raise InferenceError(f"missing singleton throughputs for {missing}")
+        self.singleton_throughputs = dict(singleton_throughputs)
+        self.evaluator = BatchedThroughputEvaluator(
+            measurements, self.names, ports.num_ports
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+        self.evaluations = 0
+
+    # -- evaluation --------------------------------------------------------
+
+    def _evaluate(self, genomes: Sequence[Genome]) -> tuple[np.ndarray, np.ndarray]:
+        """(D_avg, volume) arrays for a batch of genomes."""
+        davgs = np.empty(len(genomes))
+        volumes = np.empty(len(genomes))
+        chunk = self.config.batch_chunk
+        for start in range(0, len(genomes), chunk):
+            part = genomes[start : start + chunk]
+            matrices = np.stack([self.evaluator.uop_matrix(g) for g in part])
+            predicted = self.evaluator.throughputs_from_matrices(matrices)
+            davgs[start : start + len(part)] = self.evaluator.davg_from_throughputs(
+                predicted
+            )
+        for i, genome in enumerate(genomes):
+            volumes[i] = genome_volume(genome)
+        self.evaluations += len(genomes)
+        return davgs, volumes
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> EvolutionResult:
+        """Execute Algorithm 1 and return the fittest mapping found."""
+        start_time = time.perf_counter()
+        config = self.config
+        p = config.population_size
+
+        population = random_population(
+            self._rng, p, self.names, self.ports.num_ports, self.singleton_throughputs
+        )
+        davgs, volumes = self._evaluate(population)
+
+        history: list[GenerationStats] = []
+        best_key: tuple[float, float] | None = None
+        stale = 0
+        generation = 0
+        converged = False
+
+        for generation in range(1, config.max_generations + 1):
+            children: list[Genome] = []
+            while len(children) < p:
+                i = int(self._rng.integers(0, p))
+                j = int(self._rng.integers(0, p))
+                child_a, child_b = recombine(self._rng, population[i], population[j])
+                children.append(child_a)
+                if len(children) < p:
+                    children.append(child_b)
+            if config.mutation_rate > 0.0:
+                children = [
+                    mutate(
+                        self._rng,
+                        child,
+                        self.ports.num_ports,
+                        self.singleton_throughputs,
+                        rate=config.mutation_rate,
+                    )
+                    for child in children
+                ]
+
+            child_davgs, child_volumes = self._evaluate(children)
+            all_genomes = population + children
+            all_davgs = np.concatenate([davgs, child_davgs])
+            all_volumes = np.concatenate([volumes, child_volumes])
+
+            fitness = scalarized_fitness(all_davgs, all_volumes)
+            ranked = np.argsort(fitness, kind="stable")
+            # Selection with deduplication: at the paper's population size
+            # (100 000) duplicate genomes are statistically irrelevant, but
+            # at our scaled-down sizes they flood the selection and collapse
+            # diversity within a few generations.  Preferring distinct
+            # genomes (falling back to duplicates only when there are not
+            # enough) keeps the algorithm otherwise unchanged.
+            selected: list[int] = []
+            seen_keys: set[tuple] = set()
+            duplicates: list[int] = []
+            for index in ranked:
+                key = genome_key(all_genomes[index])
+                if key in seen_keys:
+                    duplicates.append(int(index))
+                    continue
+                seen_keys.add(key)
+                selected.append(int(index))
+                if len(selected) == p:
+                    break
+            if len(selected) < p:
+                selected.extend(duplicates[: p - len(selected)])
+            order = np.array(selected)
+            population = [all_genomes[i] for i in order]
+            davgs = all_davgs[order]
+            volumes = all_volumes[order]
+
+            history.append(
+                GenerationStats(
+                    generation=generation,
+                    best_davg=float(davgs.min()),
+                    median_davg=float(np.median(davgs)),
+                    best_volume=float(volumes[int(np.argmin(davgs))]),
+                    evaluations=self.evaluations,
+                )
+            )
+
+            # Convergence: the whole population collapsed to one objective
+            # point, or the best candidate stagnated for `patience` rounds.
+            davg_span = float(davgs.max() - davgs.min())
+            volume_span = float(volumes.max() - volumes.min())
+            if davg_span <= config.convergence_tolerance and volume_span == 0.0:
+                converged = True
+                break
+            key = (round(float(davgs.min()), 12), float(volumes[int(np.argmin(davgs))]))
+            if best_key is not None and key >= best_key:
+                stale += 1
+                if stale >= config.patience:
+                    break
+            else:
+                stale = 0
+                best_key = key
+
+        # Pick the best individual by (D_avg, volume) lexicographically —
+        # the scalarization is only meaningful within one generation.
+        best_index = int(np.lexsort((volumes, davgs))[0])
+        best_genome = population[best_index]
+
+        if config.local_search_rounds > 0:
+            best_genome, _ = local_search(
+                self.evaluator,
+                best_genome,
+                max_rounds=config.local_search_rounds,
+            )
+
+        final_davg = float(self.evaluator.davg(best_genome))
+        result = EvolutionResult(
+            mapping=genome_to_mapping(self.ports, best_genome),
+            genome=best_genome,
+            davg=final_davg,
+            volume=genome_volume(best_genome),
+            generations=generation,
+            evaluations=self.evaluations,
+            wall_seconds=time.perf_counter() - start_time,
+            history=history,
+            converged=converged,
+        )
+        return result

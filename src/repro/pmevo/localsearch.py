@@ -1,0 +1,80 @@
+"""Greedy hill-climbing local search (Section 4.4).
+
+After the evolution terminates, PMEvo "employs a greedy hill-climbing
+algorithm to move from the found solutions to a local optimum ...  It
+incrementally adjusts the number n of µop occurrences for each edge
+``(i, n, u)`` and keeps the changes to the port mapping if it is fitter
+than before."
+
+Fitter, outside a population, means lexicographic improvement: first a
+strictly smaller ``D_avg`` (beyond a small tolerance), then — at equal
+accuracy — a smaller µop volume.  Decrementing a multiplicity to zero
+removes the edge (if the instruction keeps at least one µop), which is how
+the search also prunes superfluous µops.
+"""
+
+from __future__ import annotations
+
+from repro.pmevo.population import Genome, copy_genome, genome_volume
+from repro.throughput.batched import BatchedThroughputEvaluator
+
+__all__ = ["local_search"]
+
+#: D_avg improvements below this are treated as noise (ties break on volume).
+_DAVG_TOLERANCE = 1e-9
+
+
+def _better(
+    davg_new: float, volume_new: float, davg_old: float, volume_old: float
+) -> bool:
+    if davg_new < davg_old - _DAVG_TOLERANCE:
+        return True
+    if davg_new <= davg_old + _DAVG_TOLERANCE and volume_new < volume_old:
+        return True
+    return False
+
+
+def local_search(
+    evaluator: BatchedThroughputEvaluator,
+    genome: Genome,
+    max_rounds: int = 4,
+) -> tuple[Genome, float]:
+    """Hill-climb µop multiplicities; returns (improved genome, its D_avg).
+
+    One round visits every edge once, trying ``n+1`` and ``n-1`` (the latter
+    removing the edge at ``n == 1`` when legal).  Rounds repeat until a full
+    round finds no improvement or ``max_rounds`` is reached.
+    """
+    current = copy_genome(genome)
+    current_davg = float(evaluator.davg(current))
+    current_volume = float(genome_volume(current))
+
+    for _ in range(max_rounds):
+        improved = False
+        for name in sorted(current.keys()):
+            for mask in sorted(current[name].keys()):
+                count = current[name].get(mask)
+                if count is None:
+                    continue  # removed by an earlier move in this round
+                for delta in (+1, -1):
+                    new_count = count + delta
+                    if new_count < 0:
+                        continue
+                    if new_count == 0 and len(current[name]) == 1:
+                        continue  # would leave the instruction without µops
+                    candidate = copy_genome(current)
+                    if new_count == 0:
+                        del candidate[name][mask]
+                    else:
+                        candidate[name][mask] = new_count
+                    davg = float(evaluator.davg(candidate))
+                    volume = float(genome_volume(candidate))
+                    if _better(davg, volume, current_davg, current_volume):
+                        current = candidate
+                        current_davg = davg
+                        current_volume = volume
+                        improved = True
+                        break
+        if not improved:
+            break
+    return current, current_davg

@@ -1,0 +1,105 @@
+"""Evolutionary operators (Section 4.4).
+
+The paper's final design uses a single binary **recombination** operator:
+for each instruction, the multiset of (µop, multiplicity) edges of the two
+parents is pooled and split randomly into the two children.  Mutation
+operators were tried and dropped — "little to no benefit over a design
+without a mutation operator while contributing substantial numbers of
+fitness computations" — so mutation here exists only for the ablation bench
+and is off by default.
+
+Invariant kept by all operators: every instruction has at least one µop in
+every genome.  The paper does not discuss how recombination avoids emptying
+one child's decomposition; we reassign a random pooled edge to the empty
+side (see DESIGN.md, "Recombination invariant").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.ports import mask_size
+from repro.pmevo.population import Genome, multiplicity_bound
+
+__all__ = ["recombine", "mutate"]
+
+
+def _merge_edges(target: dict[int, int], mask: int, count: int) -> None:
+    if count > 0:
+        target[mask] = target.get(mask, 0) + count
+
+
+def recombine(
+    rng: np.random.Generator, parent_a: Genome, parent_b: Genome
+) -> tuple[Genome, Genome]:
+    """Binary recombination: per-instruction random split of pooled edges.
+
+    Both parents must cover the same instruction set.  Returns two children.
+    """
+    child_a: Genome = {}
+    child_b: Genome = {}
+    for name, uops_a in parent_a.items():
+        uops_b = parent_b[name]
+        pooled = [(mask, count) for mask, count in uops_a.items()]
+        pooled += [(mask, count) for mask, count in uops_b.items()]
+        side = rng.integers(0, 2, size=len(pooled))
+        to_a: dict[int, int] = {}
+        to_b: dict[int, int] = {}
+        for (mask, count), bit in zip(pooled, side):
+            _merge_edges(to_a if bit == 0 else to_b, mask, count)
+        # Re-establish the "at least one µop" invariant: hand a random
+        # pooled edge to the empty side (both sides can't be empty).
+        if not to_a:
+            mask, count = pooled[int(rng.integers(0, len(pooled)))]
+            _merge_edges(to_a, mask, count)
+        if not to_b:
+            mask, count = pooled[int(rng.integers(0, len(pooled)))]
+            _merge_edges(to_b, mask, count)
+        child_a[name] = to_a
+        child_b[name] = to_b
+    return child_a, child_b
+
+
+def mutate(
+    rng: np.random.Generator,
+    genome: Genome,
+    num_ports: int,
+    singleton_throughputs: Mapping[str, float],
+    rate: float = 0.05,
+) -> Genome:
+    """Random point mutation (ablation only; the paper's design omits it).
+
+    With probability ``rate`` per instruction, one of three edits is made:
+
+    * replace one µop's mask by a fresh random non-empty mask,
+    * re-roll one µop's multiplicity within the initialization bound,
+    * toggle: drop a µop (if more than one) or add a fresh one.
+    """
+    num_masks = (1 << num_ports) - 1
+    mutated: Genome = {}
+    for name, uops in genome.items():
+        uops = dict(uops)
+        if rng.random() < rate:
+            throughput = singleton_throughputs.get(name, 1.0)
+            masks = list(uops.keys())
+            choice = int(rng.integers(0, 3))
+            if choice == 0:
+                old = masks[int(rng.integers(0, len(masks)))]
+                new = int(rng.integers(1, num_masks + 1))
+                count = uops.pop(old)
+                _merge_edges(uops, new, count)
+            elif choice == 1:
+                mask = masks[int(rng.integers(0, len(masks)))]
+                bound = multiplicity_bound(throughput, mask_size(mask))
+                uops[mask] = int(rng.integers(1, bound + 1))
+            else:
+                if len(uops) > 1 and rng.random() < 0.5:
+                    del uops[masks[int(rng.integers(0, len(masks)))]]
+                else:
+                    new = int(rng.integers(1, num_masks + 1))
+                    bound = multiplicity_bound(throughput, mask_size(new))
+                    _merge_edges(uops, new, int(rng.integers(1, bound + 1)))
+        mutated[name] = uops
+    return mutated

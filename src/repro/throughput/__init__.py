@@ -1,0 +1,30 @@
+"""Analytical throughput models: LP (Definition 3) and bottleneck (Eq. 1)."""
+
+from repro.throughput.batched import BatchedThroughputEvaluator
+from repro.throughput.bottleneck import (
+    bottleneck_throughput,
+    bottleneck_throughput_dense,
+    bottleneck_throughput_reference,
+    bottleneck_throughput_unions,
+)
+from repro.throughput.lp import LPProblem, build_lp, lp_throughput, lp_throughput_masses
+from repro.throughput.predictor import (
+    MappingPredictor,
+    ThroughputPredictor,
+    predict_many,
+)
+
+__all__ = [
+    "bottleneck_throughput",
+    "bottleneck_throughput_dense",
+    "bottleneck_throughput_reference",
+    "bottleneck_throughput_unions",
+    "lp_throughput",
+    "lp_throughput_masses",
+    "build_lp",
+    "LPProblem",
+    "BatchedThroughputEvaluator",
+    "MappingPredictor",
+    "ThroughputPredictor",
+    "predict_many",
+]

@@ -1,0 +1,161 @@
+"""Batched throughput evaluation for the evolutionary algorithm.
+
+Fitness evaluation speed "directly corresponds to the quality of the obtained
+solution" (Section 4.5).  This module is our analogue of the paper's
+aggressively vectorized bottleneck implementation: it evaluates one or many
+candidate mappings against a whole experiment set with numpy.
+
+The pipeline per candidate is
+
+1. genome → µop matrix ``M[instruction, mask]`` of multiplicities,
+2. mass matrix ``W = X @ M`` where ``X[experiment, instruction]`` holds the
+   multiset counts (built once per experiment set),
+3. zeta transform of ``W`` along the mask axis (superset sums),
+4. ``t*[e] = max_Q W[e, Q] / |Q|``.
+
+Step 2 is a single BLAS matrix product, steps 3–4 are ``|P|`` slice-adds and
+one reduction, so the per-candidate cost is far below solving hundreds of
+LPs — the property that makes population-scale search practical.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import ExperimentError, MappingError
+from repro.core.experiment import Experiment, ExperimentSet
+from repro.core.mapping import ThreeLevelMapping
+from repro.throughput.bottleneck import popcounts, zeta_transform
+
+__all__ = ["BatchedThroughputEvaluator"]
+
+
+class BatchedThroughputEvaluator:
+    """Evaluates candidate mappings against a fixed experiment set.
+
+    Parameters
+    ----------
+    experiments:
+        The experiments (and, if an :class:`ExperimentSet` is given, their
+        measured throughputs, enabling :meth:`davg`).
+    instruction_names:
+        The instruction universe in a fixed order.  Every experiment must be
+        supported on these names.
+    num_ports:
+        Number of ports |P|; masks in genomes must fit in this many bits.
+    """
+
+    def __init__(
+        self,
+        experiments: ExperimentSet | Sequence[Experiment],
+        instruction_names: Sequence[str],
+        num_ports: int,
+    ):
+        if num_ports <= 0:
+            raise MappingError(f"number of ports must be positive, got {num_ports}")
+        self.num_ports = num_ports
+        self.instruction_names = tuple(instruction_names)
+        self._index = {name: i for i, name in enumerate(self.instruction_names)}
+        if len(self._index) != len(self.instruction_names):
+            raise MappingError("duplicate instruction names")
+
+        if isinstance(experiments, ExperimentSet):
+            exps: Sequence[Experiment] = experiments.experiments
+            self.measured = np.array(experiments.throughputs, dtype=np.float64)
+        else:
+            exps = list(experiments)
+            self.measured = None
+        if not exps:
+            raise ExperimentError("need at least one experiment")
+
+        self.experiments = tuple(exps)
+        counts = np.zeros((len(exps), len(self.instruction_names)), dtype=np.float64)
+        for row, experiment in enumerate(exps):
+            for name, count in experiment:
+                col = self._index.get(name)
+                if col is None:
+                    raise ExperimentError(
+                        f"experiment uses {name!r}, not in the instruction universe"
+                    )
+                counts[row, col] = float(count)
+        self._counts = counts
+        self._popcounts = popcounts(num_ports).copy()
+        self._popcounts[0] = np.inf  # the empty set never wins the max
+
+    @property
+    def num_experiments(self) -> int:
+        return len(self.experiments)
+
+    def uop_matrix(self, genome: Mapping[str, Mapping[int, int]]) -> np.ndarray:
+        """Scatter a genome (``name -> {mask -> multiplicity}``) into a dense
+        ``[instruction, 2^|P|]`` multiplicity matrix."""
+        size = 1 << self.num_ports
+        matrix = np.zeros((len(self.instruction_names), size), dtype=np.float64)
+        for name, uops in genome.items():
+            row = self._index.get(name)
+            if row is None:
+                continue  # genomes may cover more instructions than the universe
+            for mask, mult in uops.items():
+                if mask <= 0 or mask >= size:
+                    raise MappingError(f"mask {mask:#x} invalid for {self.num_ports} ports")
+                matrix[row, mask] += float(mult)
+        return matrix
+
+    def _validate_covers(self, matrix: np.ndarray) -> None:
+        # Every instruction used by some experiment must have at least one µop.
+        used = self._counts.sum(axis=0) > 0
+        has_uop = matrix.sum(axis=1) > 0
+        missing = used & ~has_uop
+        if missing.any():
+            names = [self.instruction_names[i] for i in np.nonzero(missing)[0]]
+            raise MappingError(f"instructions without µops: {names}")
+
+    def throughputs_from_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Predicted throughput per experiment for a µop matrix."""
+        self._validate_covers(matrix)
+        masses = self._counts @ matrix  # [experiment, mask]
+        zeta_transform(masses, self.num_ports)
+        np.divide(masses, self._popcounts, out=masses)
+        return masses.max(axis=1)
+
+    def throughputs_from_matrices(self, matrices: np.ndarray) -> np.ndarray:
+        """Predicted throughputs for a stack of µop matrices.
+
+        ``matrices`` has shape ``[population, instruction, 2^|P|]``; the
+        result has shape ``[population, experiment]``.  This is the hot path
+        of the evolutionary algorithm.
+        """
+        if matrices.ndim != 3:
+            raise MappingError("expected a [population, instruction, mask] array")
+        masses = np.einsum("ei,piu->peu", self._counts, matrices, optimize=True)
+        zeta_transform(masses, self.num_ports)
+        np.divide(masses, self._popcounts, out=masses)
+        return masses.max(axis=2)
+
+    def throughputs(
+        self, mapping: ThreeLevelMapping | Mapping[str, Mapping[int, int]]
+    ) -> np.ndarray:
+        """Predicted throughput per experiment for a mapping or raw genome."""
+        if isinstance(mapping, ThreeLevelMapping):
+            genome = {name: uops for name, uops in mapping.items()}
+        else:
+            genome = mapping
+        return self.throughputs_from_matrix(self.uop_matrix(genome))
+
+    def davg(
+        self, mapping: ThreeLevelMapping | Mapping[str, Mapping[int, int]]
+    ) -> float:
+        """Average relative prediction error ``D_avg`` (Section 4.4)."""
+        if self.measured is None:
+            raise ExperimentError("this evaluator has no measured throughputs")
+        predicted = self.throughputs(mapping)
+        return float(np.mean(np.abs(predicted - self.measured) / self.measured))
+
+    def davg_from_throughputs(self, predicted: np.ndarray) -> np.ndarray:
+        """``D_avg`` for precomputed prediction rows (vectorized over a
+        leading population axis if present)."""
+        if self.measured is None:
+            raise ExperimentError("this evaluator has no measured throughputs")
+        return np.mean(np.abs(predicted - self.measured) / self.measured, axis=-1)

@@ -1,0 +1,189 @@
+"""The bottleneck simulation algorithm (Section 4.5, Equation 1).
+
+For a two-level mapping ``m`` and experiment ``e`` the throughput is::
+
+    t*_m(e) = max_{Q ⊆ P}  Σ{ e(i) | Ports(m, i) ⊆ Q }  /  |Q|
+
+i.e. the most congested *set* of bottleneck ports determines the throughput.
+Three-level mappings reduce to this via the µop-multiset construction of
+Section 3.2 (``uop_masses``), so every function here takes a ``mask -> mass``
+dictionary.
+
+Three implementations with identical results:
+
+* :func:`bottleneck_throughput_reference` — the literal double loop over all
+  ``2^|P|`` subsets with a per-mask subset test.  Θ(2^|P|·k) for ``k``
+  distinct masks; exists to make tests and the correctness argument obvious.
+* :func:`bottleneck_throughput_dense` — the same enumeration, expressed as a
+  superset-sum (zeta transform) over the dense ``2^|P|`` mask space using
+  numpy.  Θ(|P|·2^|P|) with small constants; this is the vectorized
+  algorithm whose scaling the paper's Figure 8 measures.
+* :func:`bottleneck_throughput_unions` — exploits that an optimal bottleneck
+  set can be assumed to be a *union of occurring µop masks* (dropping a port
+  that completes no occurring mask only shrinks ``|Q|`` without losing
+  mass).  Θ(2^k·k) for ``k`` distinct masks, independent of ``|P|``; the
+  fastest choice for the short experiments PMEvo uses.
+
+:func:`bottleneck_throughput` picks between the dense and union variants
+based on problem size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.errors import ExperimentError, MappingError
+from repro.core.ports import iter_nonempty_subsets, mask_size
+
+__all__ = [
+    "bottleneck_throughput",
+    "bottleneck_throughput_reference",
+    "bottleneck_throughput_dense",
+    "bottleneck_throughput_unions",
+    "dense_mass_vector",
+    "zeta_transform",
+    "popcounts",
+]
+
+# Caches keyed by the number of ports; these arrays are tiny for realistic
+# port counts and shared by every dense evaluation.
+_POPCOUNT_CACHE: dict[int, np.ndarray] = {}
+_ZETA_INDEX_CACHE: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+
+def _check(masses: Mapping[int, float], num_ports: int) -> None:
+    if num_ports <= 0:
+        raise MappingError(f"number of ports must be positive, got {num_ports}")
+    if not masses:
+        raise ExperimentError("cannot compute throughput of an empty experiment")
+    full = (1 << num_ports) - 1
+    for mask, mass in masses.items():
+        if mask <= 0 or mask & ~full:
+            raise MappingError(f"µop mask {mask:#x} invalid for {num_ports} ports")
+        if mass < 0:
+            raise ExperimentError(f"µop mass must be non-negative, got {mass}")
+
+
+def popcounts(num_ports: int) -> np.ndarray:
+    """Popcount of every mask in ``[0, 2^num_ports)`` (cached)."""
+    table = _POPCOUNT_CACHE.get(num_ports)
+    if table is None:
+        size = 1 << num_ports
+        masks = np.arange(size, dtype=np.uint32)
+        table = np.zeros(size, dtype=np.float64)
+        for k in range(num_ports):
+            table += (masks >> k) & 1
+        _POPCOUNT_CACHE[num_ports] = table
+    return table
+
+
+def _zeta_indices(num_ports: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-bit (target, source) index pairs for the in-place zeta transform."""
+    pairs = _ZETA_INDEX_CACHE.get(num_ports)
+    if pairs is None:
+        size = 1 << num_ports
+        masks = np.arange(size, dtype=np.intp)
+        pairs = []
+        for k in range(num_ports):
+            bit = 1 << k
+            hi = masks[(masks & bit) != 0]
+            pairs.append((hi, hi ^ bit))
+        _ZETA_INDEX_CACHE[num_ports] = pairs
+    return pairs
+
+
+def zeta_transform(values: np.ndarray, num_ports: int) -> np.ndarray:
+    """In-place subset-sum over the last axis: ``out[Q] = Σ_{m ⊆ Q} in[m]``.
+
+    ``values`` must have last-axis length ``2^num_ports``; it is modified in
+    place and also returned.
+    """
+    if values.shape[-1] != (1 << num_ports):
+        raise MappingError(
+            f"last axis must have length {1 << num_ports}, got {values.shape[-1]}"
+        )
+    for hi, lo in _zeta_indices(num_ports):
+        values[..., hi] += values[..., lo]
+    return values
+
+
+def dense_mass_vector(masses: Mapping[int, float], num_ports: int) -> np.ndarray:
+    """Scatter a ``mask -> mass`` dict into a dense ``2^num_ports`` vector."""
+    vector = np.zeros(1 << num_ports, dtype=np.float64)
+    for mask, mass in masses.items():
+        vector[mask] += mass
+    return vector
+
+
+def bottleneck_throughput_reference(
+    masses: Mapping[int, float], num_ports: int
+) -> float:
+    """Literal evaluation of Equation 1 — every subset, every mask.
+
+    Intended for tests and documentation; use the other variants for speed.
+    """
+    _check(masses, num_ports)
+    full = (1 << num_ports) - 1
+    best = 0.0
+    for q in iter_nonempty_subsets(full):
+        total = sum(mass for mask, mass in masses.items() if mask & ~q == 0)
+        best = max(best, total / mask_size(q))
+    return best
+
+
+def bottleneck_throughput_dense(masses: Mapping[int, float], num_ports: int) -> float:
+    """Equation 1 via a dense superset-sum (vectorized subset enumeration)."""
+    _check(masses, num_ports)
+    sums = zeta_transform(dense_mass_vector(masses, num_ports), num_ports)
+    counts = popcounts(num_ports)
+    # Index 0 is the empty set: zero mass (all µop masks are non-empty), so
+    # excluding it by starting at 1 is safe and avoids a 0/0.
+    return float(np.max(sums[1:] / counts[1:]))
+
+
+def bottleneck_throughput_unions(masses: Mapping[int, float], num_ports: int) -> float:
+    """Equation 1 restricted to unions of occurring µop masks.
+
+    An optimal bottleneck set ``Q*`` only needs ports that appear in some
+    µop mask counted into it — removing any other port keeps the numerator
+    and shrinks the denominator.  Hence it suffices to maximize over the
+    union-closure of the occurring masks, which for the short experiments
+    PMEvo generates is far smaller than ``2^|P|``.
+    """
+    _check(masses, num_ports)
+    items = [(mask, mass) for mask, mass in masses.items() if mass > 0.0]
+    if not items:
+        raise ExperimentError("experiment carries no mass")
+    distinct = sorted({mask for mask, _ in items})
+    # Enumerate unions of subsets of the distinct masks, deduplicated.
+    unions: set[int] = set()
+    frontier = [0]
+    for mask in distinct:
+        frontier += [u | mask for u in frontier]
+        frontier = list(set(frontier))
+    unions = {u for u in frontier if u}
+    best = 0.0
+    for q in unions:
+        total = sum(mass for mask, mass in items if mask & ~q == 0)
+        best = max(best, total / mask_size(q))
+    return best
+
+
+# Above roughly this many ports the dense 2^|P| tables stop being cheap and
+# the union-closure variant (independent of |P|) wins for sparse experiments.
+_DENSE_PORT_LIMIT = 14
+
+
+def bottleneck_throughput(masses: Mapping[int, float], num_ports: int) -> float:
+    """Compute Equation 1, picking a suitable implementation.
+
+    Uses the dense vectorized enumeration for realistic port counts and the
+    union-closure variant for very wide machines where ``2^|P|`` tables
+    would dominate.
+    """
+    distinct = len(masses)
+    if num_ports <= _DENSE_PORT_LIMIT and (1 << num_ports) <= (1 << distinct):
+        return bottleneck_throughput_dense(masses, num_ports)
+    return bottleneck_throughput_unions(masses, num_ports)

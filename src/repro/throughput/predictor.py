@@ -1,0 +1,76 @@
+"""Throughput predictor interface.
+
+Everything that can predict a throughput (cycles per steady-state iteration)
+for an experiment — inferred port mappings, ground-truth oracles, the
+IACA/llvm-mca/Ithemal-style baselines — implements :class:`ThroughputPredictor`
+so the evaluation harness (Tables 3/4, Figures 6/7) can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.experiment import Experiment
+from repro.core.mapping import ThreeLevelMapping, TwoLevelMapping
+from repro.throughput.bottleneck import bottleneck_throughput
+from repro.throughput.lp import lp_throughput_masses
+
+__all__ = ["ThroughputPredictor", "MappingPredictor", "predict_many"]
+
+
+@runtime_checkable
+class ThroughputPredictor(Protocol):
+    """Anything that maps an experiment to a predicted throughput."""
+
+    name: str
+
+    def predict(self, experiment: Experiment) -> float:
+        """Predicted throughput in cycles per experiment iteration."""
+        ...
+
+
+def predict_many(
+    predictor: ThroughputPredictor, experiments: Iterable[Experiment]
+) -> np.ndarray:
+    """Vector of predictions for a sequence of experiments."""
+    return np.array([predictor.predict(e) for e in experiments], dtype=np.float64)
+
+
+class MappingPredictor:
+    """Predicts throughput from a port mapping via the analytical model.
+
+    Parameters
+    ----------
+    mapping:
+        A two- or three-level port mapping.
+    name:
+        Display name used in reports (defaults to ``"mapping"``).
+    backend:
+        ``"bottleneck"`` (default) or ``"lp"`` — which solver evaluates the
+        analytical model.  Both compute the same optimum.
+    """
+
+    def __init__(
+        self,
+        mapping: TwoLevelMapping | ThreeLevelMapping,
+        name: str = "mapping",
+        backend: str = "bottleneck",
+    ):
+        if backend not in ("bottleneck", "lp"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.mapping = mapping
+        self.name = name
+        self.backend = backend
+
+    def predict(self, experiment: Experiment) -> float:
+        masses = self.mapping.uop_masses(experiment)
+        num_ports = self.mapping.ports.num_ports
+        if self.backend == "lp":
+            return lp_throughput_masses(masses, num_ports)
+        return bottleneck_throughput(masses, num_ports)
+
+    def __repr__(self) -> str:
+        return f"MappingPredictor({self.name!r}, backend={self.backend!r})"

@@ -1,0 +1,108 @@
+"""Shared fixtures: small machines and measured experiment sets.
+
+Session-scoped where construction is expensive; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Experiment, ExperimentSet, PortSpace, ThreeLevelMapping, TwoLevelMapping
+from repro.machine import MeasurementConfig, skl_machine, toy_machine
+from repro.pmevo import pair_experiments, singleton_experiments
+
+
+@pytest.fixture(scope="session")
+def paper_ports() -> PortSpace:
+    """The P1/P2/P3 port space of the paper's running example."""
+    return PortSpace(["P1", "P2", "P3"])
+
+
+@pytest.fixture(scope="session")
+def paper_two_level(paper_ports: PortSpace) -> TwoLevelMapping:
+    """Figure 2: mul -> {P1}, add/sub -> {P1,P2}, store -> {P3}."""
+    return TwoLevelMapping(
+        paper_ports,
+        {
+            "mul": paper_ports.mask("P1"),
+            "add": paper_ports.mask("P1", "P2"),
+            "sub": paper_ports.mask("P1", "P2"),
+            "store": paper_ports.mask("P3"),
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_three_level(paper_ports: PortSpace) -> ThreeLevelMapping:
+    """Figure 4: mul -> 2xU1{P1}; add/sub -> U2{P1,P2}; store -> U2 + U3{P3}."""
+    return ThreeLevelMapping(
+        paper_ports,
+        {
+            "mul": {paper_ports.mask("P1"): 2},
+            "add": {paper_ports.mask("P1", "P2"): 1},
+            "sub": {paper_ports.mask("P1", "P2"): 1},
+            "store": {
+                paper_ports.mask("P1", "P2"): 1,
+                paper_ports.mask("P3"): 1,
+            },
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_experiment() -> Experiment:
+    """Example 1's experiment: {add -> 2, mul -> 1, store -> 1}."""
+    return Experiment({"add": 2, "mul": 1, "store": 1})
+
+
+@pytest.fixture(scope="session")
+def quiet_toy_machine():
+    """A noise-free 3-port toy machine."""
+    return toy_machine(num_ports=3, measurement=MeasurementConfig(noisy=False))
+
+
+@pytest.fixture(scope="session")
+def toy_measurements(quiet_toy_machine):
+    """Measured singleton + pair experiments on the toy machine."""
+    machine = quiet_toy_machine
+    universe = machine.isa.names
+    measured = ExperimentSet()
+    singleton_throughputs: dict[str, float] = {}
+    for experiment in singleton_experiments(universe):
+        throughput = machine.measure(experiment)
+        measured.add(experiment, throughput)
+        singleton_throughputs[experiment.support[0]] = throughput
+    for experiment in pair_experiments(universe, singleton_throughputs):
+        measured.add(experiment, machine.measure(experiment))
+    return measured, singleton_throughputs
+
+
+@pytest.fixture(scope="session")
+def quiet_skl_machine():
+    """A noise-free SKL-like machine over the full x86-like ISA."""
+    return skl_machine(measurement=MeasurementConfig(noisy=False))
+
+
+@pytest.fixture(scope="session")
+def skl_subset_names(quiet_skl_machine):
+    """A small, diverse slice of SKL instruction forms for integration tests."""
+    wanted_classes = {
+        "int_alu",
+        "int_shift",
+        "int_mul",
+        "load_gpr",
+        "store_gpr",
+        "vec_fp_add@256",
+        "vec_shuffle@128",
+    }
+    names = []
+    seen_classes = set()
+    for form in quiet_skl_machine.isa:
+        if form.semantic_class in wanted_classes:
+            # Two forms per class at most, to keep pair counts small.
+            key = (form.semantic_class, form.mnemonic)
+            if key in seen_classes:
+                continue
+            seen_classes.add(key)
+            names.append(form.name)
+    return tuple(names[:14])

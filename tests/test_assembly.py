@@ -1,0 +1,67 @@
+"""Unit tests for repro.codegen.assembly."""
+
+import pytest
+
+from repro.codegen import Immediate, InstructionInstance, MemoryRef, Register
+from repro.core import ISAError, OperandKind
+from repro.core.isa import gpr, imm, make_form, mem, vec
+
+
+def _reg(index: int, kind=OperandKind.GPR) -> Register:
+    return Register(kind, index)
+
+
+class TestRegister:
+    def test_validation(self):
+        with pytest.raises(ISAError):
+            Register(OperandKind.MEM, 0)
+        with pytest.raises(ISAError):
+            Register(OperandKind.GPR, -1)
+
+    def test_render(self):
+        assert _reg(3).render() == "r3"
+        assert Register(OperandKind.VEC, 7).render() == "v7"
+
+
+class TestInstructionInstance:
+    def test_operand_count_checked(self):
+        form = make_form("add", [gpr(64, read=True, write=True), gpr(64)], "alu")
+        with pytest.raises(ISAError):
+            InstructionInstance(form, (_reg(0),))
+
+    def test_kind_mismatch_rejected(self):
+        form = make_form("add", [gpr(64, read=True, write=True), gpr(64)], "alu")
+        with pytest.raises(ISAError):
+            InstructionInstance(form, (_reg(0), Register(OperandKind.VEC, 1)))
+        with pytest.raises(ISAError):
+            InstructionInstance(form, (_reg(0), Immediate(3)))
+
+    def test_memory_operand_checked(self):
+        form = make_form("load", [gpr(64, read=False, write=True), mem(64)], "load")
+        with pytest.raises(ISAError):
+            InstructionInstance(form, (_reg(0), _reg(1)))
+        ok = InstructionInstance(form, (_reg(0), MemoryRef(_reg(9), 64)))
+        assert ok.read_registers() == (_reg(9),)
+        assert ok.written_registers() == (_reg(0),)
+
+    def test_reads_and_writes(self):
+        form = make_form("add", [gpr(64, read=True, write=True), gpr(64)], "alu")
+        instance = InstructionInstance(form, (_reg(0), _reg(1)))
+        assert instance.read_registers() == (_reg(0), _reg(1))
+        assert instance.written_registers() == (_reg(0),)
+
+    def test_immediate_and_render(self):
+        form = make_form("add", [gpr(64, read=True, write=True), imm()], "alu")
+        instance = InstructionInstance(form, (_reg(2), Immediate(5)))
+        assert instance.render() == "add r2, #5"
+        assert instance.read_registers() == (_reg(2),)
+
+    def test_vector_instance(self):
+        form = make_form(
+            "vadd", [vec(128, read=False, write=True), vec(128), vec(128)], "vec"
+        )
+        v = lambda i: Register(OperandKind.VEC, i)
+        instance = InstructionInstance(form, (v(0), v(1), v(2)))
+        assert instance.written_registers() == (v(0),)
+        assert instance.read_registers() == (v(1), v(2))
+        assert instance.render() == "vadd v0, v1, v2"

@@ -1,0 +1,138 @@
+"""Tests for the batched throughput evaluator (the EA's fitness engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Experiment,
+    ExperimentError,
+    ExperimentSet,
+    MappingError,
+    PortSpace,
+    ThreeLevelMapping,
+)
+from repro.throughput import BatchedThroughputEvaluator, MappingPredictor
+
+
+@pytest.fixture
+def simple_setup(paper_three_level):
+    experiments = ExperimentSet()
+    experiments.add(Experiment({"add": 2, "mul": 1, "store": 1}), 2.5)
+    experiments.add(Experiment({"add": 1}), 0.5)
+    experiments.add(Experiment({"mul": 1, "store": 1}), 2.0)
+    names = ("add", "mul", "store", "sub")
+    evaluator = BatchedThroughputEvaluator(experiments, names, 3)
+    return evaluator, paper_three_level
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        experiments = ExperimentSet()
+        experiments.add(Experiment({"a": 1}), 1.0)
+        with pytest.raises(MappingError):
+            BatchedThroughputEvaluator(experiments, ("a", "a"), 2)
+
+    def test_unknown_instruction_rejected(self):
+        experiments = ExperimentSet()
+        experiments.add(Experiment({"ghost": 1}), 1.0)
+        with pytest.raises(ExperimentError):
+            BatchedThroughputEvaluator(experiments, ("a",), 2)
+
+    def test_empty_experiments_rejected(self):
+        with pytest.raises(ExperimentError):
+            BatchedThroughputEvaluator(ExperimentSet(), ("a",), 2)
+
+    def test_plain_experiment_list_has_no_measurements(self):
+        evaluator = BatchedThroughputEvaluator([Experiment({"a": 1})], ("a",), 2)
+        with pytest.raises(ExperimentError):
+            evaluator.davg({"a": {0b1: 1}})
+
+
+class TestAgainstScalarModel:
+    def test_matches_mapping_predictor(self, simple_setup):
+        evaluator, mapping = simple_setup
+        predictor = MappingPredictor(mapping)
+        batched = evaluator.throughputs(mapping)
+        scalar = [predictor.predict(e) for e in evaluator.experiments]
+        assert batched == pytest.approx(scalar)
+
+    def test_davg_definition(self, simple_setup):
+        evaluator, mapping = simple_setup
+        predicted = evaluator.throughputs(mapping)
+        expected = np.mean(
+            np.abs(predicted - np.array(evaluator.measured)) / evaluator.measured
+        )
+        assert evaluator.davg(mapping) == pytest.approx(float(expected))
+
+    def test_stacked_matches_single(self, simple_setup):
+        evaluator, mapping = simple_setup
+        genome = {name: uops for name, uops in mapping.items()}
+        matrix = evaluator.uop_matrix(genome)
+        stacked = evaluator.throughputs_from_matrices(np.stack([matrix, matrix]))
+        single = evaluator.throughputs_from_matrix(matrix.copy())
+        assert stacked.shape == (2, evaluator.num_experiments)
+        assert stacked[0] == pytest.approx(single)
+        assert stacked[1] == pytest.approx(single)
+
+    def test_missing_uops_rejected(self, simple_setup):
+        evaluator, _ = simple_setup
+        with pytest.raises(MappingError):
+            evaluator.throughputs({"add": {0b1: 1}})  # mul/store uncovered
+
+    def test_invalid_mask_rejected(self, simple_setup):
+        evaluator, _ = simple_setup
+        genome = {"add": {0b1000: 1}, "mul": {1: 1}, "store": {1: 1}}
+        with pytest.raises(MappingError):
+            evaluator.uop_matrix(genome)
+
+    def test_extra_instructions_in_genome_ignored(self, simple_setup):
+        evaluator, mapping = simple_setup
+        genome = {name: uops for name, uops in mapping.items()}
+        genome["unrelated"] = {0b1: 1}
+        assert evaluator.throughputs(genome) is not None
+
+
+@st.composite
+def genome_and_experiments(draw):
+    num_ports = draw(st.integers(min_value=2, max_value=5))
+    full = (1 << num_ports) - 1
+    names = ["i0", "i1", "i2"]
+    genome = {}
+    for name in names:
+        uops = draw(
+            st.dictionaries(
+                st.integers(min_value=1, max_value=full),
+                st.integers(min_value=1, max_value=3),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        genome[name] = uops
+    experiments = draw(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(names),
+                st.integers(min_value=1, max_value=4),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return num_ports, names, genome, [Experiment(e) for e in experiments]
+
+
+class TestPropertyAgainstScalar:
+    @given(genome_and_experiments())
+    @settings(max_examples=60, deadline=None)
+    def test_batched_equals_scalar_bottleneck(self, setup):
+        num_ports, names, genome, experiments = setup
+        evaluator = BatchedThroughputEvaluator(experiments, names, num_ports)
+        mapping = ThreeLevelMapping(PortSpace.numbered(num_ports), genome)
+        predictor = MappingPredictor(mapping)
+        batched = evaluator.throughputs(genome)
+        scalar = [predictor.predict(e) for e in experiments]
+        assert batched == pytest.approx(scalar)

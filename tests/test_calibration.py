@@ -1,0 +1,62 @@
+"""Tests for the empirical measurement-length calibration (Section 4.2)."""
+
+import pytest
+
+from repro.core import Experiment, MeasurementError
+from repro.machine import MeasurementConfig, toy_machine
+
+
+class TestCalibration:
+    def test_returns_machine_with_stable_length(self):
+        machine = toy_machine(
+            num_ports=3,
+            measurement=MeasurementConfig(measure_iterations=2, noisy=False),
+        )
+        calibrated = machine.calibrate(stability=0.02)
+        assert calibrated.measurement.measure_iterations >= 2
+        # The calibrated machine measures consistently with a longer run.
+        probe = Experiment({machine.isa.names[0]: 1})
+        long = toy_machine(
+            num_ports=3,
+            measurement=MeasurementConfig(measure_iterations=40, noisy=False),
+        )
+        assert calibrated.measure(probe) == pytest.approx(
+            long.measure(probe), rel=0.03
+        )
+
+    def test_preserves_noise_settings(self):
+        machine = toy_machine(
+            num_ports=3,
+            measurement=MeasurementConfig(
+                measure_iterations=4, noisy=True, jitter_sigma=0.01, seed=5
+            ),
+        )
+        calibrated = machine.calibrate()
+        assert calibrated.measurement.noisy
+        assert calibrated.measurement.jitter_sigma == pytest.approx(0.01)
+        assert calibrated.measurement.seed == 5
+
+    def test_invalid_stability_rejected(self):
+        machine = toy_machine(num_ports=3)
+        with pytest.raises(MeasurementError):
+            machine.calibrate(stability=0.0)
+        with pytest.raises(MeasurementError):
+            machine.calibrate(stability=1.5)
+
+    def test_budget_exhaustion_raises(self):
+        # max_iterations below the first doubling: no stable pair can be
+        # confirmed within budget, so calibration must refuse.
+        machine = toy_machine(
+            num_ports=3, measurement=MeasurementConfig(measure_iterations=8)
+        )
+        with pytest.raises(MeasurementError):
+            machine.calibrate(max_iterations=8)
+
+    def test_custom_probe(self):
+        machine = toy_machine(
+            num_ports=3, measurement=MeasurementConfig(measure_iterations=4)
+        )
+        names = machine.isa.names
+        probe = Experiment({names[0]: 1, names[3]: 2})
+        calibrated = machine.calibrate(probe=probe)
+        assert calibrated is not machine

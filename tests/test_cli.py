@@ -1,0 +1,103 @@
+"""Tests for the command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_experiment, build_parser, main
+from repro.core import Experiment, PortSpace, ThreeLevelMapping
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_infer_args(self):
+        args = build_parser().parse_args(
+            ["infer", "SKL", "-o", "map.json", "--forms", "10"]
+        )
+        assert args.machine == "SKL"
+        assert args.forms == 10
+
+    def test_parse_experiment(self):
+        assert _parse_experiment(["a=2", "b"]) == Experiment({"a": 2, "b": 1})
+        assert _parse_experiment(["a", "a"]) == Experiment({"a": 2})
+
+
+@pytest.fixture
+def mapping_file(tmp_path):
+    ports = PortSpace.numbered(2)
+    mapping = ThreeLevelMapping(ports, {"op_a": {0b01: 1}, "op_b": {0b11: 2}})
+    path = tmp_path / "mapping.json"
+    path.write_text(mapping.to_json())
+    return path
+
+
+class TestCommands:
+    def test_show(self, mapping_file, capsys):
+        assert main(["show", str(mapping_file)]) == 0
+        out = capsys.readouterr().out
+        assert "op_a" in out and "op_b" in out
+
+    def test_predict(self, mapping_file, capsys):
+        assert main(["predict", str(mapping_file), "op_a=2"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert float(out) == pytest.approx(2.0)  # 2 µops on one port
+
+    def test_predict_mixture(self, mapping_file, capsys):
+        assert main(["predict", str(mapping_file), "op_a", "op_b"]) == 0
+        out = capsys.readouterr().out.strip()
+        # op_a: 1 on {P0}; op_b: 2 on {P0,P1} -> (1+2)/2 = 1.5.
+        assert float(out) == pytest.approx(1.5)
+
+    def test_infer_small_run(self, tmp_path, capsys):
+        output = tmp_path / "skl.json"
+        code = main(
+            [
+                "infer",
+                "SKL",
+                "-o",
+                str(output),
+                "--forms",
+                "8",
+                "--population",
+                "40",
+                "--generations",
+                "15",
+            ]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert len(data["instructions"]) == 8
+        out = capsys.readouterr().out
+        assert "insns found congruent" in out
+
+    def test_compare_with_inferred_mapping(self, tmp_path, capsys):
+        output = tmp_path / "skl.json"
+        main(
+            ["infer", "SKL", "-o", str(output), "--forms", "8",
+             "--population", "40", "--generations", "15"]
+        )
+        capsys.readouterr()
+        code = main(["compare", "SKL", str(output), "--count", "20", "--size", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PMEvo" in out and "llvm-mca" in out
+
+    def test_diff_identical_files(self, mapping_file, capsys):
+        assert main(["diff", str(mapping_file), str(mapping_file)]) == 0
+        out = capsys.readouterr().out
+        assert "behavioural distance: 0.0000" in out
+        assert "mappings are identical" in out
+
+    def test_export_llvm(self, mapping_file, capsys):
+        assert main(["export", str(mapping_file), "--format", "llvm"]) == 0
+        out = capsys.readouterr().out
+        assert "SchedMachineModel" in out
+        assert "Writeop_a" in out
+
+    def test_export_osaca(self, mapping_file, capsys):
+        assert main(["export", str(mapping_file), "--format", "osaca"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("instruction,P0,P1,cycles")

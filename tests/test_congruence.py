@@ -1,0 +1,133 @@
+"""Tests for congruence filtering (Section 4.3)."""
+
+import pytest
+
+from repro.core import Experiment, ExperimentError, ExperimentSet
+from repro.pmevo import find_congruence_classes, throughputs_equal
+
+
+class TestThroughputsEqual:
+    def test_exact_equality(self):
+        assert throughputs_equal(1.0, 1.0, 0.05)
+
+    def test_symmetric_relative_difference(self):
+        # |t1-t2| / (|t1+t2|/2) < eps
+        assert throughputs_equal(1.00, 1.04, 0.05)
+        assert not throughputs_equal(1.0, 1.10, 0.05)
+
+    def test_symmetry(self):
+        assert throughputs_equal(2.0, 2.05, 0.05) == throughputs_equal(2.05, 2.0, 0.05)
+
+    def test_zero_denominator(self):
+        assert not throughputs_equal(1.0, -1.0, 0.05)
+
+
+def _measured(entries) -> ExperimentSet:
+    s = ExperimentSet()
+    for counts, throughput in entries:
+        s.add(Experiment(counts), throughput)
+    return s
+
+
+class TestCongruenceClasses:
+    def test_identical_profiles_merge(self):
+        measured = _measured(
+            [
+                ({"a": 1}, 1.0),
+                ({"b": 1}, 1.0),
+                ({"c": 1}, 2.0),
+                ({"a": 1, "b": 1}, 2.0),
+                ({"a": 1, "c": 1}, 3.0),
+                ({"b": 1, "c": 1}, 3.0),
+            ]
+        )
+        partition = find_congruence_classes(measured, epsilon=0.05)
+        assert partition.classes[partition.representative_of["a"]] == ["a", "b"]
+        assert partition.representative_of["c"] == "c"
+        assert partition.congruent_fraction() == pytest.approx(1 / 3)
+
+    def test_different_singleton_throughputs_split(self):
+        measured = _measured(
+            [
+                ({"a": 1}, 1.0),
+                ({"b": 1}, 2.0),
+                ({"a": 1, "b": 1}, 3.0),
+            ]
+        )
+        partition = find_congruence_classes(measured, epsilon=0.05)
+        assert partition.representative_of["a"] != partition.representative_of["b"]
+
+    def test_pair_profile_distinguishes(self):
+        """a and b have equal individual throughput but interact differently
+        with c — they must not merge."""
+        measured = _measured(
+            [
+                ({"a": 1}, 1.0),
+                ({"b": 1}, 1.0),
+                ({"c": 1}, 1.0),
+                ({"a": 1, "b": 1}, 2.0),
+                ({"a": 1, "c": 1}, 2.0),  # a conflicts with c
+                ({"b": 1, "c": 1}, 1.0),  # b runs in parallel with c
+            ]
+        )
+        partition = find_congruence_classes(measured, epsilon=0.05)
+        assert partition.representative_of["a"] != partition.representative_of["b"]
+
+    def test_epsilon_tolerance_merges_noisy_measurements(self):
+        measured = _measured(
+            [
+                ({"a": 1}, 1.00),
+                ({"b": 1}, 1.02),
+                ({"a": 1, "b": 1}, 2.01),
+            ]
+        )
+        strict = find_congruence_classes(measured, epsilon=0.001)
+        loose = find_congruence_classes(measured, epsilon=0.05)
+        assert strict.representative_of["a"] != strict.representative_of["b"]
+        assert loose.representative_of["a"] == loose.representative_of["b"]
+
+    def test_translation_excludes_representatives(self):
+        measured = _measured(
+            [
+                ({"a": 1}, 1.0),
+                ({"b": 1}, 1.0),
+                ({"a": 1, "b": 1}, 2.0),
+            ]
+        )
+        partition = find_congruence_classes(measured, epsilon=0.05)
+        translation = partition.translation()
+        rep = partition.representative_of["a"]
+        assert rep not in translation
+        other = "b" if rep == "a" else "a"
+        assert translation == {other: rep}
+
+    def test_missing_singleton_rejected(self):
+        measured = _measured([({"a": 1}, 1.0)])
+        with pytest.raises(ExperimentError):
+            find_congruence_classes(measured, names=["a", "ghost"])
+
+    def test_invalid_epsilon_rejected(self):
+        measured = _measured([({"a": 1}, 1.0)])
+        with pytest.raises(ExperimentError):
+            find_congruence_classes(measured, epsilon=0.0)
+
+
+class TestCongruenceOnToyMachine:
+    def test_toy_machine_classes_found(self, quiet_toy_machine, toy_measurements):
+        """Forms of the same toy semantic class are congruent; the toy
+        machine also makes class0 and class3 identical by construction."""
+        measured, _ = toy_measurements
+        partition = find_congruence_classes(measured, epsilon=0.05)
+        machine = quiet_toy_machine
+        by_class: dict[str, list[str]] = {}
+        for form in machine.isa:
+            by_class.setdefault(form.semantic_class, []).append(form.name)
+        # Same semantic class -> same congruence representative.
+        for members in by_class.values():
+            reps = {partition.representative_of[m] for m in members}
+            assert len(reps) == 1
+        # class0 (1 µop on P0) and class3 (1 µop on P0) merge across classes.
+        rep0 = partition.representative_of[by_class["class0"][0]]
+        rep3 = partition.representative_of[by_class["class3"][0]]
+        assert rep0 == rep3
+        assert partition.congruent_fraction() >= 0.5

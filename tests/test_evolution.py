@@ -1,0 +1,131 @@
+"""Tests for the evolutionary algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Experiment, ExperimentSet, InferenceError, PortSpace
+from repro.pmevo import EvolutionConfig, PortMappingEvolver
+from repro.throughput import BatchedThroughputEvaluator
+
+
+def _measurements_from_truth(truth, names, num_ports, extra_pairs=()):
+    experiments = [Experiment({n: 1}) for n in names]
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            experiments.append(Experiment({a: 1, b: 1}))
+    experiments.extend(Experiment(dict(p)) for p in extra_pairs)
+    probe = BatchedThroughputEvaluator(experiments, names, num_ports)
+    measured = ExperimentSet()
+    for experiment, value in zip(experiments, probe.throughputs(truth)):
+        measured.add(experiment, float(value))
+    singles = {n: measured.singleton_throughput(n) for n in names}
+    return measured, singles
+
+
+class TestEvolutionConfigValidation:
+    def test_bad_population(self):
+        with pytest.raises(InferenceError):
+            EvolutionConfig(population_size=1)
+
+    def test_bad_generations(self):
+        with pytest.raises(InferenceError):
+            EvolutionConfig(max_generations=0)
+
+    def test_bad_mutation_rate(self):
+        with pytest.raises(InferenceError):
+            EvolutionConfig(mutation_rate=1.5)
+
+
+class TestEvolverSetup:
+    def test_missing_singletons_rejected(self):
+        names = ("x",)
+        measured, _ = _measurements_from_truth({"x": {0b1: 1}}, names, 1)
+        with pytest.raises(InferenceError):
+            PortMappingEvolver(PortSpace.numbered(1), measured, {})
+
+
+class TestEvolutionRecovery:
+    def test_recovers_simple_two_port_truth(self):
+        truth = {"a": {0b01: 1}, "b": {0b10: 1}, "c": {0b11: 1}}
+        names = ("a", "b", "c")
+        measured, singles = _measurements_from_truth(
+            truth, names, 2, extra_pairs=[{"a": 1, "b": 1, "c": 1}.items()]
+        )
+        evolver = PortMappingEvolver(
+            PortSpace.numbered(2),
+            measured,
+            singles,
+            EvolutionConfig(population_size=80, max_generations=60, seed=0),
+        )
+        result = evolver.run()
+        assert result.davg == pytest.approx(0.0, abs=1e-9)
+        assert result.generations <= 60
+        assert result.evaluations > 0
+        assert len(result.history) == result.generations
+
+    def test_finds_multi_uop_decomposition(self):
+        # 'st' needs two µops: one shared with 'ad', one exclusive.
+        truth = {"ad": {0b011: 1}, "mu": {0b100: 2}, "st": {0b011: 1, 0b100: 1}}
+        names = ("ad", "mu", "st")
+        measured, singles = _measurements_from_truth(truth, names, 3)
+        evolver = PortMappingEvolver(
+            PortSpace.numbered(3),
+            measured,
+            singles,
+            EvolutionConfig(population_size=150, max_generations=80, seed=2),
+        )
+        result = evolver.run()
+        assert result.davg <= 0.02
+
+    def test_seed_reproducibility(self):
+        truth = {"a": {0b01: 1}, "b": {0b10: 1}}
+        names = ("a", "b")
+        measured, singles = _measurements_from_truth(truth, names, 2)
+        config = EvolutionConfig(population_size=30, max_generations=20, seed=7)
+        ports = PortSpace.numbered(2)
+        first = PortMappingEvolver(ports, measured, singles, config).run()
+        second = PortMappingEvolver(ports, measured, singles, config).run()
+        assert first.mapping == second.mapping
+        assert first.davg == second.davg
+
+    def test_history_objectives_never_worsen(self):
+        truth = {"a": {0b01: 1}, "b": {0b11: 1}}
+        names = ("a", "b")
+        measured, singles = _measurements_from_truth(truth, names, 2)
+        evolver = PortMappingEvolver(
+            PortSpace.numbered(2),
+            measured,
+            singles,
+            EvolutionConfig(population_size=40, max_generations=30, seed=1),
+        )
+        result = evolver.run()
+        best = [stats.best_davg for stats in result.history]
+        assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(best, best[1:]))
+
+    def test_mutation_variant_runs(self):
+        truth = {"a": {0b01: 1}, "b": {0b10: 1}}
+        names = ("a", "b")
+        measured, singles = _measurements_from_truth(truth, names, 2)
+        evolver = PortMappingEvolver(
+            PortSpace.numbered(2),
+            measured,
+            singles,
+            EvolutionConfig(
+                population_size=30, max_generations=15, seed=3, mutation_rate=0.2
+            ),
+        )
+        result = evolver.run()
+        assert result.davg <= 0.05
+
+    def test_result_mapping_covers_all_instructions(self):
+        truth = {"a": {0b01: 1}, "b": {0b10: 1}}
+        names = ("a", "b")
+        measured, singles = _measurements_from_truth(truth, names, 2)
+        result = PortMappingEvolver(
+            PortSpace.numbered(2),
+            measured,
+            singles,
+            EvolutionConfig(population_size=20, max_generations=10, seed=0),
+        ).run()
+        assert set(result.mapping.instructions) == set(names)
+        assert result.volume == result.mapping.uop_volume()

@@ -1,0 +1,73 @@
+"""Tests for the downstream export formats."""
+
+import pytest
+
+from repro.analysis import (
+    reciprocal_throughputs,
+    to_llvm_sched_model,
+    to_osaca_table,
+)
+
+
+class TestReciprocalThroughputs:
+    def test_paper_example(self, paper_three_level):
+        throughputs = reciprocal_throughputs(paper_three_level)
+        # mul: 2 µops on the single port P1 -> 2.0 cycles.
+        assert throughputs["mul"] == pytest.approx(2.0)
+        # add: 1 µop on two ports -> 0.5 cycles.
+        assert throughputs["add"] == pytest.approx(0.5)
+        # store: 1 µop on {P1,P2} and 1 on {P3} -> bottleneck is 1.0? The
+        # {P3} µop alone costs 1.0; the shared µop spreads. max = 1.0.
+        assert throughputs["store"] == pytest.approx(1.0)
+
+
+class TestLLVMExport:
+    def test_contains_all_parts(self, paper_three_level):
+        text = to_llvm_sched_model(paper_three_level, model_name="TestModel")
+        assert "def TestModel : SchedMachineModel;" in text
+        for port in ("P1", "P2", "P3"):
+            assert f"TestModelPort{port} : ProcResource<1>" in text
+        # The two-port µop {P1,P2} needs a ProcResGroup.
+        assert "ProcResGroup" in text
+        for name in ("mul", "add", "sub", "store"):
+            assert f"Write{name}" in text
+
+    def test_multiplicities_become_release_cycles(self, paper_three_level):
+        text = to_llvm_sched_model(paper_three_level)
+        # mul has one µop kind with multiplicity 2.
+        mul_block = text.split("Writemul")[1].split("}")[0]
+        assert "ReleaseAtCycles = [2]" in mul_block
+        assert "NumMicroOps = 2" in mul_block
+
+    def test_single_port_uops_use_port_resource_directly(self, paper_three_level):
+        text = to_llvm_sched_model(paper_three_level, model_name="M")
+        mul_block = text.split("Writemul")[1].split("}")[0]
+        assert "MPortP1" in mul_block
+
+
+class TestOsacaExport:
+    def test_csv_shape(self, paper_three_level):
+        text = to_osaca_table(paper_three_level)
+        lines = text.strip().splitlines()
+        assert lines[0] == "instruction,P1,P2,P3,cycles"
+        assert len(lines) == 1 + 4  # header + four instructions
+
+    def test_pressure_sums_to_uop_count(self, paper_three_level):
+        text = to_osaca_table(paper_three_level)
+        for line in text.strip().splitlines()[1:]:
+            parts = line.split(",")
+            name = parts[0]
+            pressure = sum(float(x) for x in parts[1:-1])
+            expected = sum(paper_three_level.uops_of(name).values())
+            assert pressure == pytest.approx(expected, abs=1e-6)
+
+    def test_store_splits_pressure(self, paper_three_level):
+        text = to_osaca_table(paper_three_level)
+        store_line = next(
+            line for line in text.splitlines() if line.startswith("store,")
+        )
+        _, p1, p2, p3, cycles = store_line.split(",")
+        assert float(p1) == pytest.approx(0.5)
+        assert float(p2) == pytest.approx(0.5)
+        assert float(p3) == pytest.approx(1.0)
+        assert float(cycles) == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Tests for fitness scalarization (Section 4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InferenceError
+from repro.pmevo import normalize_objective, scalarized_fitness
+from repro.pmevo.fitness import SCALE
+
+
+class TestNormalizeObjective:
+    def test_maps_extremes(self):
+        out = normalize_objective(np.array([2.0, 4.0, 3.0]))
+        assert out[0] == 0.0
+        assert out[1] == SCALE
+        assert out[2] == pytest.approx(SCALE / 2)
+
+    def test_degenerate_population_maps_to_zero(self):
+        out = normalize_objective(np.array([3.0, 3.0, 3.0]))
+        assert out.tolist() == [0.0, 0.0, 0.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            normalize_objective(np.array([]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_range_property(self, values):
+        out = normalize_objective(np.array(values))
+        assert np.all(out >= 0.0)
+        assert np.all(out <= SCALE + 1e-9)
+        # Order preserved.
+        order_in = np.argsort(values, kind="stable")
+        order_out = np.argsort(out, kind="stable")
+        assert np.array_equal(order_in, order_out)
+
+
+class TestScalarizedFitness:
+    def test_combines_both_objectives(self):
+        davgs = np.array([0.0, 1.0])
+        volumes = np.array([10.0, 0.0])
+        fitness = scalarized_fitness(davgs, volumes)
+        # Each candidate is best in one objective and worst in the other.
+        assert fitness[0] == pytest.approx(SCALE)
+        assert fitness[1] == pytest.approx(SCALE)
+
+    def test_dominating_candidate_wins(self):
+        davgs = np.array([0.1, 0.5, 0.1])
+        volumes = np.array([5.0, 5.0, 9.0])
+        fitness = scalarized_fitness(davgs, volumes)
+        assert np.argmin(fitness) == 0  # weakly dominates both others
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InferenceError):
+            scalarized_fitness(np.array([1.0]), np.array([1.0, 2.0]))

@@ -1,0 +1,62 @@
+"""Tests for heat-map binning (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_heatmap, diagonal_mass
+from repro.core import ReproError
+
+
+class TestBuildHeatmap:
+    def test_diagonal_data_lands_on_diagonal(self):
+        values = np.linspace(0.5, 30.0, 100)
+        heatmap = build_heatmap(values, values, bins=35)
+        assert heatmap.counts.sum() == 100
+        assert diagonal_mass(heatmap, radius=0) == pytest.approx(1.0)
+
+    def test_over_estimation_lands_above_diagonal(self):
+        measured = np.linspace(1.0, 10.0, 50)
+        predicted = measured * 3.0
+        heatmap = build_heatmap(predicted, measured, bins=35)
+        rows, cols = np.nonzero(heatmap.counts)
+        assert np.all(rows >= cols)  # predicted axis is rows
+        assert diagonal_mass(heatmap, radius=1) < 0.5
+
+    def test_limit_clamps_outliers(self):
+        heatmap = build_heatmap(
+            np.array([1.0, 100.0]), np.array([1.0, 1.0]), bins=10, limit=10.0
+        )
+        assert heatmap.counts.sum() == 2
+        # measured 1.0 with scale bins/limit = 1 lands in column 1; the
+        # predicted outlier 100.0 clamps into the last row.
+        assert heatmap.counts[9, 1] == 1
+
+    def test_default_limit_covers_data(self):
+        heatmap = build_heatmap(np.array([3.0]), np.array([7.0]), bins=5)
+        assert heatmap.limit == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            build_heatmap(np.array([]), np.array([]))
+        with pytest.raises(ReproError):
+            build_heatmap(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ReproError):
+            build_heatmap(np.array([1.0]), np.array([1.0]), bins=1)
+
+    def test_render_produces_grid(self):
+        values = np.linspace(0.5, 10.0, 200)
+        heatmap = build_heatmap(values, values, predictor="p", machine="m", bins=10)
+        text = heatmap.render()
+        lines = text.splitlines()
+        assert "p on m" in lines[0]
+        assert len(lines) == 1 + 1 + 10 + 1  # header + top bar + rows + bottom
+        assert all(line.startswith("|") and line.endswith("|") for line in lines[2:-1])
+
+
+class TestDiagonalMass:
+    def test_radius_widens_capture(self):
+        measured = np.linspace(1.0, 10.0, 50)
+        predicted = measured * 1.15  # slightly off-diagonal
+        heatmap = build_heatmap(predicted, measured, bins=20)
+        assert diagonal_mass(heatmap, radius=0) <= diagonal_mass(heatmap, radius=2)
+        assert diagonal_mass(heatmap, radius=19) == pytest.approx(1.0)

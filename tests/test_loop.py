@@ -1,0 +1,70 @@
+"""Tests for loop body construction (Section 4.2)."""
+
+import pytest
+
+from repro.codegen import build_loop_body, interleaved_forms
+from repro.core import Experiment, ExperimentError, ISAError
+from repro.machine import toy_machine
+
+
+@pytest.fixture(scope="module")
+def toy_isa_fixture():
+    return toy_machine(num_ports=3).isa
+
+
+class TestInterleavedForms:
+    def test_round_robin_interleaving(self, toy_isa_fixture):
+        isa = toy_isa_fixture
+        a, b = isa.names[0], isa.names[1]
+        experiment = Experiment({a: 3, b: 1})
+        sequence = [f.name for f in interleaved_forms(isa, experiment)]
+        assert sequence == [a, b, a, a]
+
+    def test_total_count_matches(self, toy_isa_fixture):
+        isa = toy_isa_fixture
+        a, b, c = isa.names[:3]
+        experiment = Experiment({a: 2, b: 5, c: 1})
+        sequence = interleaved_forms(isa, experiment)
+        assert len(sequence) == experiment.size
+        assert sum(1 for f in sequence if f.name == b) == 5
+
+
+class TestBuildLoopBody:
+    def test_unrolls_to_target_length(self, toy_isa_fixture):
+        isa = toy_isa_fixture
+        a, b = isa.names[:2]
+        experiment = Experiment({a: 1, b: 1})
+        body, factor = build_loop_body(isa, experiment, target_length=50)
+        assert factor == 25
+        assert len(body) == 50
+
+    def test_large_experiment_single_copy(self, toy_isa_fixture):
+        isa = toy_isa_fixture
+        a = isa.names[0]
+        experiment = Experiment({a: 60})
+        body, factor = build_loop_body(isa, experiment, target_length=50)
+        assert factor == 1
+        assert len(body) == 60
+
+    def test_body_never_shorter_than_experiment(self, toy_isa_fixture):
+        isa = toy_isa_fixture
+        a = isa.names[0]
+        body, factor = build_loop_body(isa, Experiment({a: 7}), target_length=50)
+        assert len(body) == 7 * factor >= 50
+
+    def test_unknown_instruction_rejected(self, toy_isa_fixture):
+        with pytest.raises(ISAError):
+            build_loop_body(toy_isa_fixture, Experiment({"ghost": 1}))
+
+    def test_bad_target_rejected(self, toy_isa_fixture):
+        a = toy_isa_fixture.names[0]
+        with pytest.raises(ExperimentError):
+            build_loop_body(toy_isa_fixture, Experiment({a: 1}), target_length=0)
+
+    def test_allocation_state_threads_through_copies(self, toy_isa_fixture):
+        """Registers must keep rotating across unrolled copies, not reset."""
+        isa = toy_isa_fixture
+        a = isa.names[0]
+        body, _ = build_loop_body(isa, Experiment({a: 1}), target_length=20)
+        destinations = [i.written_registers()[0] for i in body]
+        assert len(set(destinations)) > 5

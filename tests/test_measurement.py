@@ -1,0 +1,78 @@
+"""Tests for the measurement harness (Definition 1, Section 4.2)."""
+
+import pytest
+
+from repro.core import Experiment, MeasurementError
+from repro.machine import Machine, MeasurementConfig, toy_machine
+
+
+class TestMeasurementConfig:
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(warmup_iterations=0)
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(repetitions=0)
+        with pytest.raises(MeasurementError):
+            MeasurementConfig(spike_probability=1.5)
+
+
+class TestMachineMeasurement:
+    def test_noise_free_determinism(self):
+        machine = toy_machine(num_ports=3, measurement=MeasurementConfig(noisy=False))
+        e = Experiment({machine.isa.names[0]: 1})
+        assert machine.measure(e) == machine.measure(e)
+
+    def test_memoization(self):
+        machine = toy_machine(num_ports=3, measurement=MeasurementConfig(noisy=False))
+        e = Experiment({machine.isa.names[0]: 1})
+        machine.measure(e)
+        before = machine.simulated_instructions
+        machine.measure(e)
+        assert machine.simulated_instructions == before  # cache hit, no sim
+
+    def test_noise_is_bounded_and_median_filtered(self):
+        quiet = toy_machine(num_ports=3, measurement=MeasurementConfig(noisy=False))
+        noisy = toy_machine(
+            num_ports=3,
+            measurement=MeasurementConfig(
+                noisy=True, jitter_sigma=0.004, spike_probability=0.05, seed=11
+            ),
+        )
+        for name in quiet.isa.names[:4]:
+            e = Experiment({name: 1})
+            truth = quiet.measure(e)
+            observed = noisy.measure(e)
+            # Median over repetitions keeps the value within ~2% of truth.
+            assert observed == pytest.approx(truth, rel=0.02)
+
+    def test_measure_many(self):
+        machine = toy_machine(num_ports=3, measurement=MeasurementConfig(noisy=False))
+        names = machine.isa.names[:3]
+        experiments = [Experiment({n: 1}) for n in names]
+        measured = machine.measure_many(experiments)
+        assert len(measured) == 3
+        assert all(item.throughput > 0 for item in measured)
+
+    def test_throughput_additivity_for_conflicting_instructions(self):
+        """Two forms of the same class share all ports: measured pair
+        throughput equals the sum of the singleton throughputs
+        (Section 4.1's experiment design rationale)."""
+        machine = toy_machine(num_ports=3, measurement=MeasurementConfig(noisy=False))
+        isa = machine.isa
+        # Forms of the same semantic class by construction of the toy ISA.
+        same_class = [f.name for f in isa if f.semantic_class == "class0"]
+        a, b = same_class[:2]
+        t_a = machine.measure(Experiment({a: 1}))
+        t_b = machine.measure(Experiment({b: 1}))
+        t_ab = machine.measure(Experiment({a: 1, b: 1}))
+        assert t_ab == pytest.approx(t_a + t_b, rel=0.05)
+
+    def test_ground_truth_mapping_covers_isa(self):
+        machine = toy_machine(num_ports=3)
+        mapping = machine.ground_truth_mapping()
+        assert set(mapping.instructions) == set(machine.isa.names)
+
+    def test_describe(self):
+        machine = toy_machine(num_ports=3)
+        text = machine.describe()
+        assert "TOY3" in text and "3 ports" in text

@@ -1,0 +1,55 @@
+"""Measurement noise must be independent of measurement order.
+
+Like a real benchmark rig: re-measuring the same experiment on the same
+machine yields the same (noisy) reading regardless of what was measured
+before — otherwise evaluation results depend on test execution order.
+"""
+
+from repro.core import Experiment
+from repro.machine import MeasurementConfig, toy_machine
+
+
+def _machine():
+    return toy_machine(
+        num_ports=3, measurement=MeasurementConfig(noisy=True, seed=13)
+    )
+
+
+class TestOrderIndependence:
+    def test_same_reading_regardless_of_history(self):
+        names = _machine().isa.names
+        target = Experiment({names[0]: 1, names[1]: 2})
+
+        fresh = _machine()
+        direct = fresh.measure(target)
+
+        busy = _machine()
+        for name in names:  # measure lots of other things first
+            busy.measure(Experiment({name: 1}))
+            busy.measure(Experiment({name: 3}))
+        after_history = busy.measure(target)
+
+        assert direct == after_history
+
+    def test_different_experiments_get_independent_noise(self):
+        machine = _machine()
+        names = machine.isa.names
+        # Same true throughput (congruent forms), but independent noise
+        # draws: readings need not be byte-identical.
+        quiet = toy_machine(num_ports=3, measurement=MeasurementConfig(noisy=False))
+        a, b = names[0], names[1]
+        if quiet.measure(Experiment({a: 1})) == quiet.measure(Experiment({b: 1})):
+            assert machine.measure(Experiment({a: 1})) != machine.measure(
+                Experiment({b: 1})
+            )
+
+    def test_seed_changes_noise(self):
+        names = _machine().isa.names
+        target = Experiment({names[0]: 1})
+        first = toy_machine(
+            num_ports=3, measurement=MeasurementConfig(noisy=True, seed=1)
+        ).measure(target)
+        second = toy_machine(
+            num_ports=3, measurement=MeasurementConfig(noisy=True, seed=2)
+        ).measure(target)
+        assert first != second

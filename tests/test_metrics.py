@@ -1,0 +1,88 @@
+"""Tests for accuracy metrics (MAPE / Pearson / Spearman)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import evaluate_predictor, mape, pearson_cc, spearman_cc
+from repro.core import Experiment, ExperimentSet, ReproError
+
+
+class TestMape:
+    def test_perfect_prediction(self):
+        assert mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # Errors: |1.1-1|/1 = 0.1, |1.8-2|/2 = 0.1 -> 10%.
+        assert mape([1.1, 1.8], [1.0, 2.0]) == pytest.approx(10.0)
+
+    def test_relative_to_measurement(self):
+        assert mape([2.0], [1.0]) == pytest.approx(100.0)
+        assert mape([1.0], [2.0]) == pytest.approx(50.0)
+
+    def test_nonpositive_measurement_rejected(self):
+        with pytest.raises(ReproError):
+            mape([1.0], [0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            mape([1.0, 2.0], [1.0])
+
+
+class TestCorrelations:
+    def test_perfect_linear(self):
+        assert pearson_cc([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert spearman_cc([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        assert pearson_cc([3, 2, 1], [1, 2, 3]) == pytest.approx(-1.0)
+        assert spearman_cc([3, 2, 1], [1, 2, 3]) == pytest.approx(-1.0)
+
+    def test_spearman_only_needs_monotonicity(self):
+        predicted = [1.0, 4.0, 9.0, 16.0]  # monotone, non-linear
+        measured = [1.0, 2.0, 3.0, 4.0]
+        assert spearman_cc(predicted, measured) == pytest.approx(1.0)
+        assert pearson_cc(predicted, measured) < 1.0
+
+    def test_constant_series_yields_zero(self):
+        assert pearson_cc([1.0, 1.0], [1.0, 2.0]) == 0.0
+        assert spearman_cc([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=3, max_size=20),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariance(self, measured, factor):
+        """A predictor that is off by a constant factor keeps CC = 1."""
+        measured = np.array(measured)
+        if np.std(measured) < 1e-6 * np.mean(measured):
+            return  # (near-)constant series: correlation is undefined
+        predicted = measured * factor
+        assert pearson_cc(predicted, measured) == pytest.approx(1.0, abs=1e-6)
+        assert spearman_cc(predicted, measured) == pytest.approx(1.0, abs=1e-6)
+
+
+class _ConstantPredictor:
+    name = "const"
+
+    def predict(self, experiment):
+        return float(experiment.size)
+
+
+class TestEvaluatePredictor:
+    def test_report_fields(self):
+        benchmark = ExperimentSet()
+        benchmark.add(Experiment({"a": 1}), 1.0)
+        benchmark.add(Experiment({"a": 2}), 2.0)
+        benchmark.add(Experiment({"a": 3}), 2.5)
+        report = evaluate_predictor(_ConstantPredictor(), benchmark, "M")
+        assert report.predictor == "const"
+        assert report.machine == "M"
+        assert report.num_experiments == 3
+        assert report.mape == pytest.approx(100 * (0 + 0 + 0.5 / 2.5) / 3)
+        assert 0.9 <= report.pearson <= 1.0
+        row = report.row()
+        assert row["predictor"] == "const"
+        assert row["MAPE"].endswith("%")

@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.ports."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import MappingError, PortSpace
+from repro.core.ports import (
+    indices_from_mask,
+    iter_nonempty_subsets,
+    iter_subsets,
+    mask_from_indices,
+    mask_size,
+)
+
+
+class TestMaskHelpers:
+    def test_roundtrip_simple(self):
+        assert mask_from_indices([0, 2]) == 5
+        assert indices_from_mask(5) == (0, 2)
+
+    def test_empty(self):
+        assert mask_from_indices([]) == 0
+        assert indices_from_mask(0) == ()
+        assert mask_size(0) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(MappingError):
+            mask_from_indices([-1])
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(MappingError):
+            indices_from_mask(-3)
+
+    @given(st.sets(st.integers(min_value=0, max_value=20)))
+    def test_roundtrip_property(self, indices):
+        mask = mask_from_indices(indices)
+        assert set(indices_from_mask(mask)) == indices
+        assert mask_size(mask) == len(indices)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_subset_enumeration(self, mask):
+        subsets = list(iter_subsets(mask))
+        assert len(subsets) == 1 << mask_size(mask)
+        assert len(set(subsets)) == len(subsets)
+        assert all(sub & ~mask == 0 for sub in subsets)
+        assert 0 in subsets and mask in subsets
+
+    def test_nonempty_subsets_exclude_zero(self):
+        assert 0 not in list(iter_nonempty_subsets(0b101))
+        assert sorted(iter_nonempty_subsets(0b101)) == [0b001, 0b100, 0b101]
+
+
+class TestPortSpace:
+    def test_basic(self):
+        ports = PortSpace(["P0", "P1", "DIV"])
+        assert ports.num_ports == 3
+        assert ports.full_mask == 0b111
+        assert ports.index("DIV") == 2
+        assert ports.mask("P0", "DIV") == 0b101
+        assert ports.mask_names(0b101) == ("P0", "DIV")
+        assert ports.format_mask(0b011) == "{P0,P1}"
+
+    def test_numbered(self):
+        ports = PortSpace.numbered(4)
+        assert ports.names == ("P0", "P1", "P2", "P3")
+        assert len(ports) == 4
+        assert list(ports) == ["P0", "P1", "P2", "P3"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MappingError):
+            PortSpace(["A", "A"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MappingError):
+            PortSpace([])
+        with pytest.raises(MappingError):
+            PortSpace.numbered(0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MappingError):
+            PortSpace(["A", ""])
+
+    def test_unknown_port(self):
+        ports = PortSpace.numbered(2)
+        with pytest.raises(MappingError):
+            ports.index("P9")
+        with pytest.raises(MappingError):
+            ports.mask("P9")
+
+    def test_check_mask(self):
+        ports = PortSpace.numbered(2)
+        assert ports.check_mask(0b11) == 0b11
+        with pytest.raises(MappingError):
+            ports.check_mask(0b100)
+        with pytest.raises(MappingError):
+            ports.check_mask(-1)
+
+    def test_equality_and_hash(self):
+        assert PortSpace.numbered(3) == PortSpace.numbered(3)
+        assert PortSpace.numbered(3) != PortSpace.numbered(4)
+        assert hash(PortSpace.numbered(3)) == hash(PortSpace.numbered(3))

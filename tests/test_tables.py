@@ -1,0 +1,46 @@
+"""Tests for the table formatter."""
+
+import pytest
+
+from repro.analysis import format_kv_rows, format_table
+from repro.core import ReproError
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("bb")
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+
+class TestFormatKvRows:
+    def test_machine_columns(self):
+        text = format_kv_rows(
+            {
+                "SKL": {"ports": 9, "MAPE": "9%"},
+                "ZEN": {"ports": 10},
+            }
+        )
+        lines = text.splitlines()
+        assert "SKL" in lines[0] and "ZEN" in lines[0]
+        assert any("ports" in line and "9" in line and "10" in line for line in lines)
+        assert any("MAPE" in line and "-" in line for line in lines)  # missing cell
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            format_kv_rows({})
