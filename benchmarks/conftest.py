@@ -14,6 +14,8 @@ EXPERIMENTS.md for the paper-vs-measured comparison.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from bench_lib import scaled, stratified_forms
@@ -31,6 +33,20 @@ from repro.pmevo import (
     infer_port_mapping,
     random_experiments,
 )
+
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ so tiers can be selected with -m.
+
+    The fast CI tier runs ``-m "not benchmark"``; the nightly tier runs the
+    ``benchmark``-marked reproduction suite.
+    """
+    for item in items:
+        if _BENCH_DIR in Path(item.fspath).parents:
+            item.add_marker(pytest.mark.benchmark)
 
 
 def _machine_factory(name: str):

@@ -42,31 +42,74 @@ def mape(predicted: Iterable[float], measured: Iterable[float]) -> float:
     return float(100.0 * np.mean(np.abs(p - m) / m))
 
 
+def _unit_scaled(values: np.ndarray) -> np.ndarray:
+    """Divide by the max magnitude so constant scale factors cancel early.
+
+    Correlations are scale-invariant in exact arithmetic, but a predictor
+    that is off by an extreme constant factor pushes the raw values toward
+    the edges of the float range where centering and squaring lose digits.
+    Normalizing first keeps both series in [-1, 1].
+    """
+    scale = float(np.max(np.abs(values)))
+    return values / scale if scale > 0.0 else values
+
+
+def _pearson(x: np.ndarray, y: np.ndarray) -> float:
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denominator = float(np.linalg.norm(xc) * np.linalg.norm(yc))
+    if denominator == 0.0:
+        return 0.0
+    return float(np.clip(np.dot(xc, yc) / denominator, -1.0, 1.0))
+
+
 def pearson_cc(predicted: Iterable[float], measured: Iterable[float]) -> float:
     """Pearson correlation coefficient in [-1, 1].
 
-    Degenerate (constant or numerically near-constant) series yield 0.0
-    rather than NaN, so reports stay well-defined.
+    Degenerate series (constant, or containing non-finite predictions)
+    yield 0.0 rather than NaN, so reports stay well-defined.  Each series
+    is normalized to unit scale before the dot product so extreme constant
+    scale factors cannot degrade the result.
     """
     p, m = _validate(np.fromiter(predicted, float), np.fromiter(measured, float))
-    if np.std(p) == 0 or np.std(m) == 0:
+    if not (np.isfinite(p).all() and np.isfinite(m).all()):
         return 0.0
-    with np.errstate(invalid="ignore"):
-        value = float(stats.pearsonr(p, m).statistic)
-    return value if np.isfinite(value) else 0.0
+    return _pearson(_unit_scaled(p), _unit_scaled(m))
+
+
+def _robust_ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks after snapping away float-noise distinctions.
+
+    Each value is rounded to 12 significant digits (per value, so wide
+    dynamic ranges keep their genuine order): multiplying a series by a
+    constant factor can round two almost-equal measurements onto the same
+    float (or pull exact ties apart), which would otherwise change the
+    rank structure and break the scale invariance of the rank correlation.
+    """
+    snapped = np.zeros_like(values)
+    nonzero = values != 0.0
+    exponent = np.floor(np.log10(np.abs(values[nonzero])))
+    # Clamp so 10**(exponent - 11) stays a normal float: subnormal values
+    # (below ~1e-296) snap onto an absolute 1e-307 grid instead of
+    # underflowing the scale to zero and producing NaN ranks.
+    exponent = np.maximum(exponent, -296.0)
+    scale = 10.0 ** (exponent - 11)
+    snapped[nonzero] = np.round(values[nonzero] / scale) * scale
+    return stats.rankdata(snapped)
 
 
 def spearman_cc(predicted: Iterable[float], measured: Iterable[float]) -> float:
     """Spearman rank correlation coefficient in [-1, 1].
 
-    Degenerate series yield 0.0 rather than NaN (see :func:`pearson_cc`).
+    Degenerate series (constant, or containing non-finite predictions)
+    yield 0.0 rather than NaN, and ranks are computed on noise-snapped
+    values (see :func:`_robust_ranks`) so a constant-factor predictor
+    scores exactly 1.
     """
     p, m = _validate(np.fromiter(predicted, float), np.fromiter(measured, float))
-    if np.std(p) == 0 or np.std(m) == 0:
+    if not (np.isfinite(p).all() and np.isfinite(m).all()):
         return 0.0
-    with np.errstate(invalid="ignore"):
-        value = float(stats.spearmanr(p, m).statistic)
-    return value if np.isfinite(value) else 0.0
+    return _pearson(_robust_ranks(p), _robust_ranks(m))
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,31 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--generations", type=int, default=120, help="EA max generations")
     infer.add_argument("--epsilon", type=float, default=0.05, help="congruence tolerance")
     infer.add_argument("--seed", type=int, default=0, help="random seed")
+    infer.add_argument(
+        "--islands",
+        type=int,
+        default=1,
+        help="number of island populations (>1 enables parallel island-model search)",
+    )
+    infer.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes evolving islands concurrently "
+        "(effective only with --islands > 1; capped at the island count)",
+    )
+    infer.add_argument(
+        "--migration-interval",
+        type=int,
+        default=10,
+        help="generations between elite migrations around the island ring",
+    )
+    infer.add_argument(
+        "--migration-size",
+        type=int,
+        default=2,
+        help="elite genomes each island emigrates per migration",
+    )
 
     predict = sub.add_parser("predict", help="predict throughput of an experiment")
     predict.add_argument("mapping", type=Path, help="mapping JSON path")
@@ -101,10 +126,26 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             population_size=args.population,
             max_generations=args.generations,
             seed=args.seed,
+            islands=args.islands,
+            workers=args.workers,
+            migration_interval=args.migration_interval,
+            migration_size=args.migration_size,
         ),
     )
     print(f"inferring port mapping for {machine.describe()}")
     print(f"instruction forms: {len(names)}")
+    if args.islands > 1:
+        effective_workers = min(args.workers, args.islands)
+        print(
+            f"islands: {args.islands} x {args.population} "
+            f"(workers: {effective_workers})"
+        )
+    elif args.workers > 1:
+        print(
+            f"note: --workers {args.workers} has no effect with a single "
+            "population; pass --islands > 1 for parallel search",
+            file=sys.stderr,
+        )
     result = infer_port_mapping(machine, names=names, config=config)
     args.output.write_text(result.mapping.to_json())
     stats = result.table2_row()

@@ -8,8 +8,15 @@ from repro.pmevo.congruence import (
 from repro.pmevo.evolution import (
     EvolutionConfig,
     EvolutionResult,
+    EvolutionState,
     GenerationStats,
     PortMappingEvolver,
+)
+from repro.pmevo.islands import (
+    IslandEvolver,
+    IslandResult,
+    derive_island_rngs,
+    migrate_ring,
 )
 from repro.pmevo.expgen import (
     full_experiment_plan,
@@ -39,8 +46,13 @@ __all__ = [
     "throughputs_equal",
     "EvolutionConfig",
     "EvolutionResult",
+    "EvolutionState",
     "GenerationStats",
     "PortMappingEvolver",
+    "IslandEvolver",
+    "IslandResult",
+    "derive_island_rngs",
+    "migrate_ring",
     "ObjectiveValues",
     "normalize_objective",
     "scalarized_fitness",

@@ -15,6 +15,12 @@ Fitness evaluation is the hot loop; candidates are evaluated in batches via
 bottleneck simulation algorithm).  Termination: the population's objectives
 have converged to a single value, the best candidate stopped improving for
 ``patience`` generations, or ``max_generations`` is reached.
+
+The loop is factored into a resumable state machine (:class:`EvolutionState`
+plus :meth:`PortMappingEvolver.init_state` / :meth:`PortMappingEvolver.advance`)
+so that the island model (:mod:`repro.pmevo.islands`) can interleave epochs of
+several populations with migration; :meth:`PortMappingEvolver.run` is the
+single-population composition of those primitives.
 """
 
 from __future__ import annotations
@@ -41,7 +47,13 @@ from repro.pmevo.population import (
 )
 from repro.throughput.batched import BatchedThroughputEvaluator
 
-__all__ = ["EvolutionConfig", "GenerationStats", "EvolutionResult", "PortMappingEvolver"]
+__all__ = [
+    "EvolutionConfig",
+    "GenerationStats",
+    "EvolutionResult",
+    "EvolutionState",
+    "PortMappingEvolver",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +63,12 @@ class EvolutionConfig:
     ``population_size`` is the paper's ``p``: each generation creates ``p``
     children and selects the best ``p`` of the combined ``2p`` candidates.
     ``mutation_rate > 0`` enables the ablation-only mutation operator.
+
+    The island-model knobs (all inert at their defaults) configure
+    :class:`repro.pmevo.islands.IslandEvolver`: ``islands`` independent
+    populations of ``population_size`` each, ``workers`` processes evaluating
+    them concurrently, and every ``migration_interval`` generations each
+    island sends its ``migration_size`` best genomes to its ring successor.
     """
 
     population_size: int = 100
@@ -61,6 +79,13 @@ class EvolutionConfig:
     local_search_rounds: int = 2
     seed: int = 0
     batch_chunk: int = 16
+    islands: int = 1
+    workers: int = 1
+    migration_interval: int = 10
+    migration_size: int = 2
+    #: Stop as soon as the best D_avg reaches this value (time-to-target
+    #: experiments); ``None`` disables the criterion.
+    target_davg: float | None = None
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -71,6 +96,21 @@ class EvolutionConfig:
             raise InferenceError("batch chunk must be positive")
         if not 0.0 <= self.mutation_rate <= 1.0:
             raise InferenceError("mutation rate must be in [0, 1]")
+        if self.islands < 1:
+            raise InferenceError("need at least one island")
+        if self.workers < 1:
+            raise InferenceError("need at least one worker")
+        if self.migration_interval < 1:
+            raise InferenceError("migration interval must be positive")
+        if self.migration_size < 0:
+            raise InferenceError("migration size must be non-negative")
+        # Only constrain migration against the population when migration can
+        # actually happen — a single-population config must stay valid
+        # whatever the (inert) migration defaults are.
+        if self.islands > 1 and self.migration_size >= self.population_size:
+            raise InferenceError(
+                "migration size must be smaller than the island population"
+            )
 
 
 @dataclass(frozen=True)
@@ -97,6 +137,42 @@ class EvolutionResult:
     wall_seconds: float
     history: list[GenerationStats] = field(default_factory=list)
     converged: bool = False
+
+
+@dataclass
+class EvolutionState:
+    """Resumable mid-run state of one evolving population.
+
+    Everything the generation loop reads or writes lives here (not on the
+    evolver), so several states can share one evolver — and one state can be
+    shipped to a worker process, advanced a few generations, and shipped
+    back — without interference.
+    """
+
+    population: list[Genome]
+    davgs: np.ndarray
+    volumes: np.ndarray
+    rng: np.random.Generator
+    generation: int = 0
+    evaluations: int = 0
+    stale: int = 0
+    best_key: tuple[float, float] | None = None
+    history: list[GenerationStats] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def stopped(self) -> bool:
+        """Whether a stop condition (other than the budget) has fired."""
+        return self.converged or self.stale_exhausted or self.target_reached
+
+    # Patience exhaustion and target attainment are recorded explicitly so
+    # resuming an island after a migration does not re-derive them.
+    stale_exhausted: bool = False
+    target_reached: bool = False
+
+    def best_index(self) -> int:
+        """Index of the (D_avg, volume)-lexicographically best individual."""
+        return int(np.lexsort((self.volumes, self.davgs))[0])
 
 
 class PortMappingEvolver:
@@ -137,7 +213,6 @@ class PortMappingEvolver:
             measurements, self.names, ports.num_ports
         )
         self._rng = np.random.default_rng(self.config.seed)
-        self.evaluations = 0
 
     # -- evaluation --------------------------------------------------------
 
@@ -155,129 +230,173 @@ class PortMappingEvolver:
             )
         for i, genome in enumerate(genomes):
             volumes[i] = genome_volume(genome)
-        self.evaluations += len(genomes)
         return davgs, volumes
+
+    # -- stepping primitives ------------------------------------------------
+
+    def init_state(self, rng: np.random.Generator | None = None) -> EvolutionState:
+        """Sample and evaluate an initial population.
+
+        ``rng`` defaults to the evolver's own generator (seeded from the
+        config); island runs pass per-island generators derived from one
+        root seed instead.
+        """
+        rng = rng if rng is not None else self._rng
+        population = random_population(
+            rng,
+            self.config.population_size,
+            self.names,
+            self.ports.num_ports,
+            self.singleton_throughputs,
+        )
+        davgs, volumes = self._evaluate(population)
+        return EvolutionState(
+            population=population,
+            davgs=davgs,
+            volumes=volumes,
+            rng=rng,
+            evaluations=len(population),
+        )
+
+    def _step(self, state: EvolutionState) -> None:
+        """Advance ``state`` by exactly one generation (operate/evaluate/select)."""
+        config = self.config
+        p = config.population_size
+        rng = state.rng
+
+        children: list[Genome] = []
+        while len(children) < p:
+            i = int(rng.integers(0, p))
+            j = int(rng.integers(0, p))
+            child_a, child_b = recombine(rng, state.population[i], state.population[j])
+            children.append(child_a)
+            if len(children) < p:
+                children.append(child_b)
+        if config.mutation_rate > 0.0:
+            children = [
+                mutate(
+                    rng,
+                    child,
+                    self.ports.num_ports,
+                    self.singleton_throughputs,
+                    rate=config.mutation_rate,
+                )
+                for child in children
+            ]
+
+        child_davgs, child_volumes = self._evaluate(children)
+        state.evaluations += len(children)
+        all_genomes = state.population + children
+        all_davgs = np.concatenate([state.davgs, child_davgs])
+        all_volumes = np.concatenate([state.volumes, child_volumes])
+
+        fitness = scalarized_fitness(all_davgs, all_volumes)
+        ranked = np.argsort(fitness, kind="stable")
+        # Selection with deduplication: at the paper's population size
+        # (100 000) duplicate genomes are statistically irrelevant, but
+        # at our scaled-down sizes they flood the selection and collapse
+        # diversity within a few generations.  Preferring distinct
+        # genomes (falling back to duplicates only when there are not
+        # enough) keeps the algorithm otherwise unchanged.
+        selected: list[int] = []
+        seen_keys: set[tuple] = set()
+        duplicates: list[int] = []
+        for index in ranked:
+            key = genome_key(all_genomes[index])
+            if key in seen_keys:
+                duplicates.append(int(index))
+                continue
+            seen_keys.add(key)
+            selected.append(int(index))
+            if len(selected) == p:
+                break
+        if len(selected) < p:
+            selected.extend(duplicates[: p - len(selected)])
+        order = np.array(selected)
+        state.population = [all_genomes[i] for i in order]
+        state.davgs = all_davgs[order]
+        state.volumes = all_volumes[order]
+        state.generation += 1
+
+        state.history.append(
+            GenerationStats(
+                generation=state.generation,
+                best_davg=float(state.davgs.min()),
+                median_davg=float(np.median(state.davgs)),
+                best_volume=float(state.volumes[int(np.argmin(state.davgs))]),
+                evaluations=state.evaluations,
+            )
+        )
+
+        if (
+            config.target_davg is not None
+            and float(state.davgs.min()) <= config.target_davg
+        ):
+            state.target_reached = True
+            return
+        # Convergence: the whole population collapsed to one objective
+        # point, or the best candidate stagnated for `patience` rounds.
+        davg_span = float(state.davgs.max() - state.davgs.min())
+        volume_span = float(state.volumes.max() - state.volumes.min())
+        if davg_span <= config.convergence_tolerance and volume_span == 0.0:
+            state.converged = True
+            return
+        key = (
+            round(float(state.davgs.min()), 12),
+            float(state.volumes[int(np.argmin(state.davgs))]),
+        )
+        if state.best_key is not None and key >= state.best_key:
+            state.stale += 1
+            if state.stale >= config.patience:
+                state.stale_exhausted = True
+        else:
+            state.stale = 0
+            state.best_key = key
+
+    def advance(
+        self, state: EvolutionState, generations: int | None = None
+    ) -> EvolutionState:
+        """Run up to ``generations`` more generations (default: to the budget).
+
+        Stops early when the state converges, exhausts its patience, or hits
+        ``config.max_generations``; returns the same (mutated) state for
+        pipelining convenience.
+        """
+        budget = generations if generations is not None else self.config.max_generations
+        for _ in range(budget):
+            if state.stopped or state.generation >= self.config.max_generations:
+                break
+            self._step(state)
+        return state
+
+    def finalize(
+        self, state: EvolutionState, wall_seconds: float = 0.0
+    ) -> EvolutionResult:
+        """Local-search the state's best individual and package the result."""
+        best_genome = state.population[state.best_index()]
+        if self.config.local_search_rounds > 0:
+            best_genome, _ = local_search(
+                self.evaluator,
+                best_genome,
+                max_rounds=self.config.local_search_rounds,
+            )
+        final_davg = float(self.evaluator.davg(best_genome))
+        return EvolutionResult(
+            mapping=genome_to_mapping(self.ports, best_genome),
+            genome=best_genome,
+            davg=final_davg,
+            volume=genome_volume(best_genome),
+            generations=state.generation,
+            evaluations=state.evaluations,
+            wall_seconds=wall_seconds,
+            history=state.history,
+            converged=state.converged,
+        )
 
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> EvolutionResult:
         """Execute Algorithm 1 and return the fittest mapping found."""
         start_time = time.perf_counter()
-        config = self.config
-        p = config.population_size
-
-        population = random_population(
-            self._rng, p, self.names, self.ports.num_ports, self.singleton_throughputs
-        )
-        davgs, volumes = self._evaluate(population)
-
-        history: list[GenerationStats] = []
-        best_key: tuple[float, float] | None = None
-        stale = 0
-        generation = 0
-        converged = False
-
-        for generation in range(1, config.max_generations + 1):
-            children: list[Genome] = []
-            while len(children) < p:
-                i = int(self._rng.integers(0, p))
-                j = int(self._rng.integers(0, p))
-                child_a, child_b = recombine(self._rng, population[i], population[j])
-                children.append(child_a)
-                if len(children) < p:
-                    children.append(child_b)
-            if config.mutation_rate > 0.0:
-                children = [
-                    mutate(
-                        self._rng,
-                        child,
-                        self.ports.num_ports,
-                        self.singleton_throughputs,
-                        rate=config.mutation_rate,
-                    )
-                    for child in children
-                ]
-
-            child_davgs, child_volumes = self._evaluate(children)
-            all_genomes = population + children
-            all_davgs = np.concatenate([davgs, child_davgs])
-            all_volumes = np.concatenate([volumes, child_volumes])
-
-            fitness = scalarized_fitness(all_davgs, all_volumes)
-            ranked = np.argsort(fitness, kind="stable")
-            # Selection with deduplication: at the paper's population size
-            # (100 000) duplicate genomes are statistically irrelevant, but
-            # at our scaled-down sizes they flood the selection and collapse
-            # diversity within a few generations.  Preferring distinct
-            # genomes (falling back to duplicates only when there are not
-            # enough) keeps the algorithm otherwise unchanged.
-            selected: list[int] = []
-            seen_keys: set[tuple] = set()
-            duplicates: list[int] = []
-            for index in ranked:
-                key = genome_key(all_genomes[index])
-                if key in seen_keys:
-                    duplicates.append(int(index))
-                    continue
-                seen_keys.add(key)
-                selected.append(int(index))
-                if len(selected) == p:
-                    break
-            if len(selected) < p:
-                selected.extend(duplicates[: p - len(selected)])
-            order = np.array(selected)
-            population = [all_genomes[i] for i in order]
-            davgs = all_davgs[order]
-            volumes = all_volumes[order]
-
-            history.append(
-                GenerationStats(
-                    generation=generation,
-                    best_davg=float(davgs.min()),
-                    median_davg=float(np.median(davgs)),
-                    best_volume=float(volumes[int(np.argmin(davgs))]),
-                    evaluations=self.evaluations,
-                )
-            )
-
-            # Convergence: the whole population collapsed to one objective
-            # point, or the best candidate stagnated for `patience` rounds.
-            davg_span = float(davgs.max() - davgs.min())
-            volume_span = float(volumes.max() - volumes.min())
-            if davg_span <= config.convergence_tolerance and volume_span == 0.0:
-                converged = True
-                break
-            key = (round(float(davgs.min()), 12), float(volumes[int(np.argmin(davgs))]))
-            if best_key is not None and key >= best_key:
-                stale += 1
-                if stale >= config.patience:
-                    break
-            else:
-                stale = 0
-                best_key = key
-
-        # Pick the best individual by (D_avg, volume) lexicographically —
-        # the scalarization is only meaningful within one generation.
-        best_index = int(np.lexsort((volumes, davgs))[0])
-        best_genome = population[best_index]
-
-        if config.local_search_rounds > 0:
-            best_genome, _ = local_search(
-                self.evaluator,
-                best_genome,
-                max_rounds=config.local_search_rounds,
-            )
-
-        final_davg = float(self.evaluator.davg(best_genome))
-        result = EvolutionResult(
-            mapping=genome_to_mapping(self.ports, best_genome),
-            genome=best_genome,
-            davg=final_davg,
-            volume=genome_volume(best_genome),
-            generations=generation,
-            evaluations=self.evaluations,
-            wall_seconds=time.perf_counter() - start_time,
-            history=history,
-            converged=converged,
-        )
-        return result
+        state = self.advance(self.init_state())
+        return self.finalize(state, wall_seconds=time.perf_counter() - start_time)

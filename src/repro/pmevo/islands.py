@@ -1,0 +1,270 @@
+"""Island-model parallel evolution (the paper's parallelized EA, Section 4.5).
+
+PMEvo's reference implementation runs its evolutionary algorithm in parallel
+on multicore machines — fitness-evaluation throughput "directly corresponds
+to the quality of the obtained solution".  This module is our analogue: it
+runs K independent :class:`~repro.pmevo.evolution.PortMappingEvolver`
+populations ("islands") concurrently in a ``multiprocessing`` pool and
+periodically migrates elite genomes around a ring topology, the classic
+coarse-grained parallel EA.
+
+Design goals, in order:
+
+1. **Bit-reproducibility.**  Island k's generator is derived from the single
+   root seed via ``numpy``'s :class:`~numpy.random.SeedSequence` spawning, and
+   each island's trajectory depends only on its own state.  Worker processes
+   merely *transport* states, so the result is byte-identical for any
+   ``workers`` count (including the in-process ``workers=1`` path) — the
+   invariant the determinism regression tests pin down.
+2. **Determinstic migration.**  Every ``migration_interval`` generations the
+   pool is drained and island k's ``migration_size`` best individuals
+   (lexicographic ``(D_avg, volume)``, stable) replace the worst individuals
+   of island ``(k+1) % K``.  All emigrants are selected from the
+   pre-migration snapshot, so the ring order does not matter.
+3. **Throughput.**  One worker process per ``workers`` is started once per
+   run (the evaluator — the heavy shared object — crosses the process
+   boundary once, via the pool initializer); per epoch only the small island
+   states travel.
+
+The scalarized fitness of Section 4.4 normalizes objectives *per
+population*: immigrants are re-ranked under the destination island's current
+extremes, so a genome that was mediocre at home can anchor selection abroad —
+that, not raw throughput, is why migration helps search quality.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InferenceError
+from repro.core.experiment import ExperimentSet
+from repro.core.ports import PortSpace
+from repro.pmevo.evolution import (
+    EvolutionConfig,
+    EvolutionResult,
+    EvolutionState,
+    GenerationStats,
+    PortMappingEvolver,
+)
+from repro.pmevo.population import copy_genome
+
+__all__ = [
+    "IslandResult",
+    "IslandEvolver",
+    "derive_island_rngs",
+    "migrate_ring",
+]
+
+
+@dataclass
+class IslandResult(EvolutionResult):
+    """An :class:`EvolutionResult` with per-island convergence tracking.
+
+    ``history`` (inherited) is the winning island's trajectory, so existing
+    consumers keep working; the extra fields record the full picture.
+    """
+
+    islands: int = 1
+    workers: int = 1
+    epochs: int = 0
+    migrations: int = 0
+    best_island: int = 0
+    island_histories: list[list[GenerationStats]] = field(default_factory=list)
+    island_davgs: list[float] = field(default_factory=list)
+    islands_converged: list[bool] = field(default_factory=list)
+
+
+def derive_island_rngs(root_seed: int, islands: int) -> list[np.random.Generator]:
+    """Per-island generators spawned deterministically from one root seed."""
+    if islands < 1:
+        raise InferenceError("need at least one island")
+    children = np.random.SeedSequence(root_seed).spawn(islands)
+    return [np.random.default_rng(sequence) for sequence in children]
+
+
+def migrate_ring(states: list[EvolutionState], migration_size: int) -> int:
+    """Send each island's elite to its ring successor; returns genomes moved.
+
+    Emigrants are the ``migration_size`` best individuals (lexicographic
+    ``(D_avg, volume)``, stable sort) of each island's *pre-migration*
+    population; they replace the destination's worst individuals.  States
+    are mutated in place.  The donor keeps its copies — migration copies,
+    it does not resettle.
+    """
+    if migration_size <= 0 or len(states) < 2:
+        return 0
+    snapshots = []
+    for state in states:
+        order = np.lexsort((state.volumes, state.davgs))
+        emigrants = [
+            (
+                copy_genome(state.population[int(i)]),
+                float(state.davgs[int(i)]),
+                float(state.volumes[int(i)]),
+            )
+            for i in order[:migration_size]
+        ]
+        snapshots.append(emigrants)
+    moved = 0
+    for source, emigrants in enumerate(snapshots):
+        target = states[(source + 1) % len(states)]
+        # Worst-first within the target, recomputed against its own
+        # (pre-migration) objectives — deterministic under the stable sort.
+        worst = np.lexsort((target.volumes, target.davgs))[::-1]
+        for slot, (genome, davg, volume) in zip(worst[: len(emigrants)], emigrants):
+            index = int(slot)
+            target.population[index] = genome
+            target.davgs[index] = davg
+            target.volumes[index] = volume
+            moved += 1
+    return moved
+
+
+# -- worker-process plumbing -------------------------------------------------
+
+# The evolver (evaluator, measurement matrices, config) is installed once per
+# worker by the pool initializer; epoch jobs then only carry island states.
+_WORKER_EVOLVER: PortMappingEvolver | None = None
+
+
+def _install_worker_evolver(evolver: PortMappingEvolver) -> None:
+    global _WORKER_EVOLVER
+    _WORKER_EVOLVER = evolver
+
+
+def _advance_epoch(job: tuple[EvolutionState, int]) -> EvolutionState:
+    state, generations = job
+    assert _WORKER_EVOLVER is not None, "worker pool initializer did not run"
+    return _WORKER_EVOLVER.advance(state, generations)
+
+
+class IslandEvolver:
+    """Evolves ``config.islands`` populations with periodic ring migration.
+
+    Drop-in alternative to :class:`PortMappingEvolver` (same constructor,
+    same ``run()`` contract); each island holds ``config.population_size``
+    individuals, so K islands search a K-fold larger gene pool while each
+    generation's fitness batch stays small enough to parallelize.
+    """
+
+    def __init__(
+        self,
+        ports: PortSpace,
+        measurements: ExperimentSet,
+        singleton_throughputs: Mapping[str, float],
+        config: EvolutionConfig | None = None,
+    ):
+        self.config = config or EvolutionConfig()
+        self.evolver = PortMappingEvolver(
+            ports, measurements, singleton_throughputs, self.config
+        )
+        self.ports = ports
+
+    # Separated out for testability: run one epoch's worth of generations on
+    # every active island, serially or on the pool.
+    def _advance_all(
+        self,
+        states: list[EvolutionState],
+        generations: int,
+        pool: multiprocessing.pool.Pool | None,
+    ) -> list[EvolutionState]:
+        jobs: list[tuple[int, EvolutionState]] = [
+            (k, state)
+            for k, state in enumerate(states)
+            if not state.stopped and state.generation < self.config.max_generations
+        ]
+        if not jobs:
+            return states
+        if pool is None:
+            advanced = [
+                self.evolver.advance(state, generations) for _, state in jobs
+            ]
+        else:
+            advanced = pool.map(
+                _advance_epoch, [(state, generations) for _, state in jobs]
+            )
+        for (k, _), state in zip(jobs, advanced):
+            states[k] = state
+        return states
+
+    def run(self) -> IslandResult:
+        """Evolve all islands to completion and return the global best."""
+        start_time = time.perf_counter()
+        config = self.config
+        rngs = derive_island_rngs(config.seed, config.islands)
+        states = [self.evolver.init_state(rng) for rng in rngs]
+
+        workers = min(config.workers, config.islands)
+        pool: multiprocessing.pool.Pool | None = None
+        epochs = 0
+        migrations = 0
+        try:
+            if workers > 1:
+                pool = multiprocessing.Pool(
+                    processes=workers,
+                    initializer=_install_worker_evolver,
+                    initargs=(self.evolver,),
+                )
+            while True:
+                active = [
+                    s
+                    for s in states
+                    if not s.stopped and s.generation < config.max_generations
+                ]
+                if not active:
+                    break
+                states = self._advance_all(states, config.migration_interval, pool)
+                epochs += 1
+                # Time-to-target runs: one island reaching the target ends
+                # the whole archipelago (decided at the epoch barrier, so
+                # the outcome is independent of worker scheduling).
+                if any(s.target_reached for s in states):
+                    break
+                # Migrating into a stopped island could not change the
+                # result (it never advances again and the migrant is judged
+                # against the global best anyway), so exchange among all
+                # islands unconditionally — it keeps the topology a ring.
+                if any(
+                    not s.stopped and s.generation < config.max_generations
+                    for s in states
+                ):
+                    migrations += migrate_ring(states, config.migration_size)
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+
+        # Global winner: lexicographic (D_avg, volume) over each island's
+        # champion, ties broken by island index for determinism.
+        champions = [
+            (float(s.davgs[s.best_index()]), float(s.volumes[s.best_index()]), k)
+            for k, s in enumerate(states)
+        ]
+        best_island = min(champions)[2]
+        base = self.evolver.finalize(states[best_island])
+
+        result = IslandResult(
+            mapping=base.mapping,
+            genome=base.genome,
+            davg=base.davg,
+            volume=base.volume,
+            generations=max(s.generation for s in states),
+            evaluations=sum(s.evaluations for s in states),
+            wall_seconds=time.perf_counter() - start_time,
+            history=states[best_island].history,
+            converged=all(s.converged for s in states),
+            islands=config.islands,
+            workers=workers,
+            epochs=epochs,
+            migrations=migrations,
+            best_island=best_island,
+            island_histories=[s.history for s in states],
+            island_davgs=[float(s.davgs[s.best_index()]) for s in states],
+            islands_converged=[s.converged for s in states],
+        )
+        return result

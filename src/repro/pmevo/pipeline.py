@@ -27,6 +27,7 @@ from repro.machine.measurement import Machine
 from repro.pmevo.congruence import CongruencePartition, find_congruence_classes
 from repro.pmevo.evolution import EvolutionConfig, EvolutionResult, PortMappingEvolver
 from repro.pmevo.expgen import pair_experiments, singleton_experiments
+from repro.pmevo.islands import IslandEvolver
 
 __all__ = ["PMEvoConfig", "PMEvoResult", "infer_port_mapping"]
 
@@ -126,7 +127,13 @@ def infer_port_mapping(
         if num_ports == machine.config.ports.num_ports
         else PortSpace.numbered(num_ports)
     )
-    evolver = PortMappingEvolver(
+    # A single island is exactly the sequential Algorithm 1; more than one
+    # switches to the island-model parallel search (Section 4.5's
+    # "parallelized implementation of a genetic algorithm").
+    evolver_class = (
+        IslandEvolver if config.evolution.islands > 1 else PortMappingEvolver
+    )
+    evolver = evolver_class(
         ports,
         reduced,
         {k: v for k, v in singleton_throughputs.items() if k in representatives},

@@ -1,0 +1,100 @@
+"""Cross-backend equivalence of the three throughput models.
+
+The evolutionary search is only as trustworthy as the fast path it runs on:
+the batched numpy evaluator must agree with the bottleneck simulation
+algorithm, and both must agree with the reference LP of Definition 3, or a
+speedup would silently change inferred mappings.  This suite pins that
+invariant on randomized mappings and experiment sets: all backends must
+agree on t* within 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Experiment, PortSpace, ThreeLevelMapping
+from repro.pmevo import random_genome
+from repro.throughput import BatchedThroughputEvaluator
+from repro.throughput.bottleneck import (
+    bottleneck_throughput,
+    bottleneck_throughput_dense,
+    bottleneck_throughput_reference,
+    bottleneck_throughput_unions,
+)
+from repro.throughput.lp import lp_throughput, lp_throughput_masses
+
+TOLERANCE = 1e-9
+
+
+def _random_instance(seed: int):
+    """A random (ports, genome, experiments) triple with bounded size."""
+    rng = np.random.default_rng(seed)
+    num_ports = int(rng.integers(2, 5))
+    names = tuple(f"op{i}" for i in range(int(rng.integers(2, 6))))
+    singles = {name: float(rng.uniform(0.5, 3.0)) for name in names}
+    genome = random_genome(rng, names, num_ports, singles)
+    experiments = []
+    for _ in range(8):
+        size = min(int(rng.integers(1, 4)), len(names))
+        support = rng.choice(len(names), size=size, replace=False)
+        counts = {names[int(i)]: int(rng.integers(1, 5)) for i in support}
+        experiments.append(Experiment(counts))
+    return num_ports, names, genome, experiments
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_all_backends_agree_on_random_instances(seed):
+    num_ports, names, genome, experiments = _random_instance(seed)
+    ports = PortSpace.numbered(num_ports)
+    mapping = ThreeLevelMapping(ports, genome)
+    batched = BatchedThroughputEvaluator(experiments, names, num_ports)
+    fast = batched.throughputs(genome)
+
+    for experiment, from_batched in zip(experiments, fast):
+        masses = mapping.uop_masses(experiment)
+        reference = bottleneck_throughput_reference(masses, num_ports)
+        dense = bottleneck_throughput_dense(masses, num_ports)
+        unions = bottleneck_throughput_unions(masses, num_ports)
+        dispatched = bottleneck_throughput(masses, num_ports)
+        lp = lp_throughput_masses(masses, num_ports)
+        context = f"seed={seed} experiment={dict(experiment)}"
+        assert from_batched == pytest.approx(reference, abs=TOLERANCE), context
+        assert dense == pytest.approx(reference, abs=TOLERANCE), context
+        assert unions == pytest.approx(reference, abs=TOLERANCE), context
+        assert dispatched == pytest.approx(reference, abs=TOLERANCE), context
+        assert lp == pytest.approx(reference, abs=TOLERANCE), context
+
+
+def test_lp_convenience_wrapper_matches_batched(paper_three_level, paper_experiment):
+    """The paper's Example 2 instance through every entry point."""
+    names = tuple(paper_three_level.instructions)
+    batched = BatchedThroughputEvaluator(
+        [paper_experiment], names, paper_three_level.ports.num_ports
+    )
+    genome = {name: dict(uops) for name, uops in paper_three_level.items()}
+    from_batched = float(batched.throughputs(genome)[0])
+    from_lp = lp_throughput(paper_three_level, paper_experiment)
+    assert from_batched == pytest.approx(from_lp, abs=TOLERANCE)
+    assert from_batched == pytest.approx(2.5, abs=TOLERANCE)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_agreement_survives_fractional_masses(seed):
+    """Congruence scaling produces non-integer masses; backends still agree."""
+    rng = np.random.default_rng(seed)
+    num_ports = 3
+    masses = {
+        int(mask): float(rng.uniform(0.1, 4.0))
+        for mask in rng.choice(range(1, 1 << num_ports), size=4, replace=False)
+    }
+    reference = bottleneck_throughput_reference(masses, num_ports)
+    assert bottleneck_throughput_dense(masses, num_ports) == pytest.approx(
+        reference, abs=TOLERANCE
+    )
+    assert bottleneck_throughput_unions(masses, num_ports) == pytest.approx(
+        reference, abs=TOLERANCE
+    )
+    assert lp_throughput_masses(masses, num_ports) == pytest.approx(
+        reference, abs=TOLERANCE
+    )
