@@ -1,13 +1,20 @@
 """Command line interface: ``repro-pmevo`` / ``python -m repro.cli``.
 
-Subcommands:
+Subcommands (see ``docs/cli.md`` for the full reference):
 
 * ``infer``   — run the PMEvo pipeline against a machine preset and write
-  the inferred port mapping as JSON.
+  the inferred port mapping as JSON; supports island-model parallel search
+  (``--islands``/``--workers``), distributed search over TCP
+  (``--transport socket``), and checkpoint/resume
+  (``--checkpoint``/``--resume``).
+* ``worker``  — serve island epochs for a ``--transport socket`` coordinator
+  (run one per core, on any machine that can reach the coordinator).
 * ``predict`` — predict the throughput of an experiment with a mapping file.
 * ``compare`` — evaluate a mapping (and the built-in baselines) on a random
   benchmark set, printing a Table 3/4-style accuracy report.
 * ``show``    — pretty-print a mapping file.
+* ``diff``    — compare two mapping files (behavioural + structural).
+* ``export``  — emit a mapping as an LLVM/OSACA/JSON flavour.
 """
 
 from __future__ import annotations
@@ -38,7 +45,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    infer = sub.add_parser("infer", help="infer a port mapping for a machine preset")
+    infer = sub.add_parser(
+        "infer",
+        help="infer a port mapping for a machine preset",
+        epilog="Island-model defaults: --islands 1 (sequential Algorithm 1), "
+        "--workers 1, --migration-interval 10, --migration-size 2; "
+        "--workers is capped at the island count.  --transport auto picks "
+        "serial for one worker and a multiprocessing pool otherwise; "
+        "--transport socket distributes epochs to `repro-pmevo worker "
+        "--connect HOST:PORT` processes.  --checkpoint writes atomic "
+        "snapshots every --checkpoint-interval epochs; --resume continues "
+        "a snapshot bit-identically to an uninterrupted run.",
+    )
     infer.add_argument("machine", choices=["SKL", "ZEN", "A72"], help="machine preset")
     infer.add_argument("--output", "-o", type=Path, required=True, help="mapping JSON path")
     infer.add_argument("--forms", type=int, default=40, help="number of instruction forms")
@@ -70,6 +88,68 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="elite genomes each island emigrates per migration",
+    )
+    infer.add_argument(
+        "--transport",
+        choices=["auto", "serial", "pool", "socket"],
+        default="auto",
+        help="where island epochs run (default auto: serial for one worker, "
+        "a multiprocessing pool otherwise; socket distributes to "
+        "`repro-pmevo worker` processes)",
+    )
+    infer.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT the socket coordinator listens on (port 0 picks an "
+        "ephemeral port, printed at startup; only with --transport socket)",
+    )
+    infer.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="workers the socket coordinator waits for before the first "
+        "epoch (only with --transport socket)",
+    )
+    infer.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="write an atomic evolution snapshot to this path at epoch "
+        "barriers (the file always holds the latest snapshot)",
+    )
+    infer.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        help="epochs between checkpoint snapshots (default 1)",
+    )
+    infer.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        help="resume from a checkpoint written by --checkpoint; the run "
+        "must use the same machine, seed, and island settings",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve island epochs for a --transport socket coordinator",
+        epilog="Start any number of workers (one per core), on this or "
+        "other machines; they may join mid-run and may die mid-epoch — "
+        "the coordinator reassigns leased epochs, and results are "
+        "bit-identical regardless.",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address the coordinator printed at startup",
+    )
+    worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        help="seconds between heartbeat frames (default 2)",
     )
 
     predict = sub.add_parser("predict", help="predict throughput of an experiment")
@@ -117,7 +197,29 @@ def _subsample_names(machine, count: int, seed: int) -> list[str]:
     return [names[i] for i in sorted(picks)]
 
 
+def _make_transport(args: argparse.Namespace):
+    """Build the transport selected by ``--transport`` (None for auto)."""
+    from repro.pmevo import PoolTransport, SerialTransport, SocketTransport
+    from repro.pmevo.transport import parse_address
+
+    if args.transport == "auto":
+        return None
+    if args.transport == "serial":
+        return SerialTransport()
+    if args.transport == "pool":
+        return PoolTransport(min(args.workers, args.islands))
+    host, port = parse_address(args.bind)
+    transport = SocketTransport(host, port, min_workers=args.min_workers)
+    # Print the actual (possibly ephemeral) address before measurement
+    # starts, so workers can be pointed at it right away.
+    address = transport.listen()
+    print(f"socket transport listening on {address[0]}:{address[1]}", flush=True)
+    return transport
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.pmevo import Checkpointer, load_checkpoint
+
     machine = preset_machine(args.machine, MeasurementConfig(seed=args.seed))
     names = _subsample_names(machine, args.forms, args.seed)
     config = PMEvoConfig(
@@ -132,6 +234,13 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             migration_size=args.migration_size,
         ),
     )
+    transport = _make_transport(args)
+    checkpointer = (
+        Checkpointer(args.checkpoint, args.checkpoint_interval)
+        if args.checkpoint is not None
+        else None
+    )
+    resume = load_checkpoint(args.resume) if args.resume is not None else None
     print(f"inferring port mapping for {machine.describe()}")
     print(f"instruction forms: {len(names)}")
     if args.islands > 1:
@@ -140,19 +249,37 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             f"islands: {args.islands} x {args.population} "
             f"(workers: {effective_workers})"
         )
-    elif args.workers > 1:
+    elif args.workers > 1 and args.transport != "socket":
         print(
             f"note: --workers {args.workers} has no effect with a single "
             "population; pass --islands > 1 for parallel search",
             file=sys.stderr,
         )
-    result = infer_port_mapping(machine, names=names, config=config)
+    if resume is not None:
+        print(f"resuming from {args.resume} (epoch {resume.epochs})")
+    result = infer_port_mapping(
+        machine,
+        names=names,
+        config=config,
+        transport=transport,
+        checkpointer=checkpointer,
+        resume=resume,
+    )
     args.output.write_text(result.mapping.to_json())
     stats = result.table2_row()
     print(format_table(["statistic", "value"], list(stats.items())))
     print(f"D_avg on training experiments: {result.evolution.davg:.4f}")
     print(f"mapping written to {args.output}")
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.pmevo import run_worker
+    from repro.pmevo.transport import parse_address
+
+    host, port = parse_address(args.connect)
+    print(f"worker connecting to {host}:{port}", flush=True)
+    return run_worker(host, port, heartbeat_interval=args.heartbeat_interval)
 
 
 def _parse_experiment(tokens: list[str]) -> Experiment:
@@ -236,6 +363,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "infer": _cmd_infer,
+        "worker": _cmd_worker,
         "predict": _cmd_predict,
         "compare": _cmd_compare,
         "show": _cmd_show,

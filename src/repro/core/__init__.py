@@ -1,6 +1,7 @@
 """Core data model: ports, µops, port mappings, experiments, ISAs."""
 
 from repro.core.errors import (
+    CheckpointError,
     ExperimentError,
     ISAError,
     InferenceError,
@@ -8,6 +9,7 @@ from repro.core.errors import (
     MeasurementError,
     ReproError,
     SolverError,
+    TransportError,
 )
 from repro.core.experiment import Experiment, ExperimentSet, MeasuredExperiment
 from repro.core.isa import ISA, InstructionForm, OperandKind, OperandSpec
@@ -22,6 +24,8 @@ __all__ = [
     "MeasurementError",
     "SolverError",
     "InferenceError",
+    "TransportError",
+    "CheckpointError",
     "Experiment",
     "MeasuredExperiment",
     "ExperimentSet",

@@ -37,3 +37,21 @@ class SolverError(ReproError):
 
 class InferenceError(ReproError):
     """Raised when the evolutionary inference is misconfigured."""
+
+
+class TransportError(ReproError):
+    """Raised when a migration transport cannot make progress.
+
+    Examples: the socket coordinator timed out waiting for the minimum
+    number of workers, a worker sent a malformed or oversized frame, or a
+    worker's protocol version does not match the coordinator's.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable, corrupted, or mismatched checkpoints.
+
+    Examples: a truncated or non-JSON snapshot file, an unknown format tag,
+    or resuming with a configuration (or instruction universe) different
+    from the one the checkpoint was written under.
+    """

@@ -12,11 +12,25 @@ from repro.pmevo.evolution import (
     GenerationStats,
     PortMappingEvolver,
 )
+from repro.pmevo.checkpoint import (
+    CheckpointSnapshot,
+    Checkpointer,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.pmevo.islands import (
     IslandEvolver,
     IslandResult,
+    default_transport,
     derive_island_rngs,
     migrate_ring,
+)
+from repro.pmevo.transport import (
+    MigrationTransport,
+    PoolTransport,
+    SerialTransport,
+    SocketTransport,
+    run_worker,
 )
 from repro.pmevo.expgen import (
     full_experiment_plan,
@@ -53,6 +67,16 @@ __all__ = [
     "IslandResult",
     "derive_island_rngs",
     "migrate_ring",
+    "default_transport",
+    "MigrationTransport",
+    "SerialTransport",
+    "PoolTransport",
+    "SocketTransport",
+    "run_worker",
+    "Checkpointer",
+    "CheckpointSnapshot",
+    "load_checkpoint",
+    "write_checkpoint",
     "ObjectiveValues",
     "normalize_objective",
     "scalarized_fitness",

@@ -21,17 +21,30 @@ plus :meth:`PortMappingEvolver.init_state` / :meth:`PortMappingEvolver.advance`)
 so that the island model (:mod:`repro.pmevo.islands`) can interleave epochs of
 several populations with migration; :meth:`PortMappingEvolver.run` is the
 single-population composition of those primitives.
+
+Serialization
+-------------
+:class:`EvolutionState` round-trips through JSON (:meth:`EvolutionState.to_json`
+/ :meth:`EvolutionState.from_json`): the population, the objective arrays, the
+generation counters, *and the numpy bit-generator state* are all captured, so
+a deserialized state continues bit-identically to the original.  This single
+codec underlies both the socket migration transport
+(:mod:`repro.pmevo.transport`) and checkpoint/resume
+(:mod:`repro.pmevo.checkpoint`).  Malformed payloads raise
+:class:`repro.core.errors.CheckpointError`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.errors import InferenceError
+from repro.core.errors import CheckpointError, InferenceError
 from repro.core.experiment import ExperimentSet
 from repro.core.mapping import ThreeLevelMapping
 from repro.core.ports import PortSpace
@@ -40,7 +53,9 @@ from repro.pmevo.localsearch import local_search
 from repro.pmevo.operators import mutate, recombine
 from repro.pmevo.population import (
     Genome,
+    genome_from_jsonable,
     genome_key,
+    genome_to_jsonable,
     genome_to_mapping,
     genome_volume,
     random_population,
@@ -53,6 +68,10 @@ __all__ = [
     "EvolutionResult",
     "EvolutionState",
     "PortMappingEvolver",
+    "config_to_jsonable",
+    "config_from_jsonable",
+    "history_to_jsonable",
+    "history_from_jsonable",
 ]
 
 
@@ -113,6 +132,25 @@ class EvolutionConfig:
             )
 
 
+def config_to_jsonable(config: EvolutionConfig) -> dict:
+    """JSON-safe dict form of an :class:`EvolutionConfig`."""
+    return dataclasses.asdict(config)
+
+
+def config_from_jsonable(data: Mapping) -> EvolutionConfig:
+    """Rebuild an :class:`EvolutionConfig` from :func:`config_to_jsonable` output.
+
+    Unknown keys are ignored (forward compatibility); missing keys fall back
+    to the dataclass defaults.  Malformed values surface as
+    :class:`repro.core.errors.CheckpointError`.
+    """
+    known = {f.name for f in dataclasses.fields(EvolutionConfig)}
+    try:
+        return EvolutionConfig(**{k: v for k, v in dict(data).items() if k in known})
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed evolution config: {exc}") from exc
+
+
 @dataclass(frozen=True)
 class GenerationStats:
     """Objective summary of one generation (after selection)."""
@@ -122,6 +160,17 @@ class GenerationStats:
     median_davg: float
     best_volume: float
     evaluations: int
+
+
+# The single history codec: EvolutionState, IslandResult, and checkpoints
+# all serialize GenerationStats lists through these two helpers, so the
+# JSON shape cannot diverge between the wire and the disk formats.
+def history_to_jsonable(history: list[GenerationStats]) -> list[dict]:
+    return [dataclasses.asdict(stats) for stats in history]
+
+
+def history_from_jsonable(entries) -> list[GenerationStats]:
+    return [GenerationStats(**entry) for entry in entries]
 
 
 @dataclass
@@ -174,6 +223,85 @@ class EvolutionState:
         """Index of the (D_avg, volume)-lexicographically best individual."""
         return int(np.lexsort((self.volumes, self.davgs))[0])
 
+    # -- serialization ------------------------------------------------------
+    #
+    # The JSON codec is exact: float64 objectives survive the round trip
+    # bit-for-bit (Python's json emits shortest-roundtrip reprs), genome and
+    # history insertion order is preserved, and the generator is restored
+    # from its bit-generator state — so `from_json(to_json())` continues a
+    # run identically.  This is the wire format of the socket transport and
+    # the on-disk format of checkpoints.
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe dict capturing the complete resumable state."""
+        return {
+            "population": [genome_to_jsonable(g) for g in self.population],
+            "davgs": [float(v) for v in self.davgs],
+            "volumes": [float(v) for v in self.volumes],
+            "rng": self.rng.bit_generator.state,
+            "generation": self.generation,
+            "evaluations": self.evaluations,
+            "stale": self.stale,
+            "best_key": list(self.best_key) if self.best_key is not None else None,
+            "history": history_to_jsonable(self.history),
+            "converged": self.converged,
+            "stale_exhausted": self.stale_exhausted,
+            "target_reached": self.target_reached,
+        }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (see :meth:`to_jsonable`)."""
+        return json.dumps(self.to_jsonable())
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping) -> "EvolutionState":
+        """Rebuild a state from :meth:`to_jsonable` output.
+
+        Raises :class:`repro.core.errors.CheckpointError` on malformed
+        payloads (missing keys, an unknown bit generator, wrong shapes).
+        """
+        try:
+            rng_payload = dict(data["rng"])
+            generator_name = str(rng_payload["bit_generator"])
+            generator_type = getattr(np.random, generator_name, None)
+            if generator_type is None or not (
+                isinstance(generator_type, type)
+                and issubclass(generator_type, np.random.BitGenerator)
+            ):
+                raise CheckpointError(
+                    f"unknown numpy bit generator {generator_name!r} in state"
+                )
+            bit_generator = generator_type()
+            bit_generator.state = rng_payload
+            best_key = data["best_key"]
+            return cls(
+                population=[genome_from_jsonable(g) for g in data["population"]],
+                davgs=np.asarray(data["davgs"], dtype=np.float64),
+                volumes=np.asarray(data["volumes"], dtype=np.float64),
+                rng=np.random.Generator(bit_generator),
+                generation=int(data["generation"]),
+                evaluations=int(data["evaluations"]),
+                stale=int(data["stale"]),
+                best_key=tuple(best_key) if best_key is not None else None,
+                history=history_from_jsonable(data["history"]),
+                converged=bool(data["converged"]),
+                stale_exhausted=bool(data["stale_exhausted"]),
+                target_reached=bool(data["target_reached"]),
+            )
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointError(f"malformed evolution state: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvolutionState":
+        """Deserialize from a JSON string (see :meth:`from_jsonable`)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"evolution state is not valid JSON: {exc}") from exc
+        return cls.from_jsonable(data)
+
 
 class PortMappingEvolver:
     """Runs the evolutionary search for one machine's experiment data.
@@ -202,6 +330,8 @@ class PortMappingEvolver:
     ):
         self.ports = ports
         self.config = config or EvolutionConfig()
+        # Kept for transports/checkpoints, which re-serialize the problem.
+        self.measurements = measurements
         self.names: tuple[str, ...] = tuple(measurements.instruction_names())
         if not self.names:
             raise InferenceError("measurement set covers no instructions")

@@ -47,9 +47,14 @@ def normalize_objective(values: np.ndarray) -> np.ndarray:
     low = values.min()
     high = values.max()
     span = high - low
-    if span <= 0.0:
+    # A subnormal span overflows SCALE/span (and 0*inf would be NaN); such
+    # a population cannot be resolved any better than an exactly-collapsed
+    # one, so both degenerate to zeros.
+    with np.errstate(over="ignore"):
+        factor = SCALE / span if span > 0.0 else np.inf
+    if not np.isfinite(factor):
         return np.zeros_like(values)
-    return (values - low) * (SCALE / span)
+    return (values - low) * factor
 
 
 def scalarized_fitness(davgs: np.ndarray, volumes: np.ndarray) -> np.ndarray:

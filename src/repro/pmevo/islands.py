@@ -4,27 +4,38 @@ PMEvo's reference implementation runs its evolutionary algorithm in parallel
 on multicore machines — fitness-evaluation throughput "directly corresponds
 to the quality of the obtained solution".  This module is our analogue: it
 runs K independent :class:`~repro.pmevo.evolution.PortMappingEvolver`
-populations ("islands") concurrently in a ``multiprocessing`` pool and
-periodically migrates elite genomes around a ring topology, the classic
-coarse-grained parallel EA.
+populations ("islands") concurrently and periodically migrates elite genomes
+around a ring topology, the classic coarse-grained parallel EA.
+
+*Where* the concurrent epochs run is delegated to a
+:class:`~repro.pmevo.transport.MigrationTransport`: in-process
+(:class:`~repro.pmevo.transport.SerialTransport`), on a ``multiprocessing``
+pool (:class:`~repro.pmevo.transport.PoolTransport`, the default for
+``workers > 1``), or distributed over TCP to ``repro-pmevo worker``
+processes on other machines
+(:class:`~repro.pmevo.transport.SocketTransport`).  The run loop only ever
+sees ``(island, state)`` pairs going out and coming back at the epoch
+barrier.
 
 Design goals, in order:
 
 1. **Bit-reproducibility.**  Island k's generator is derived from the single
    root seed via ``numpy``'s :class:`~numpy.random.SeedSequence` spawning, and
-   each island's trajectory depends only on its own state.  Worker processes
-   merely *transport* states, so the result is byte-identical for any
-   ``workers`` count (including the in-process ``workers=1`` path) — the
-   invariant the determinism regression tests pin down.
-2. **Determinstic migration.**  Every ``migration_interval`` generations the
-   pool is drained and island k's ``migration_size`` best individuals
+   each island's trajectory depends only on its own state.  Transports merely
+   *move* states — ``advance`` is a pure function of ``(state, generations)``
+   — so the result is byte-identical for any transport, worker count, or
+   worker failure/recovery schedule.  ``tests/test_islands.py`` and
+   ``tests/test_transport_equivalence.py`` pin this invariant.
+2. **Deterministic migration.**  Every ``migration_interval`` generations the
+   transport is drained and island k's ``migration_size`` best individuals
    (lexicographic ``(D_avg, volume)``, stable) replace the worst individuals
    of island ``(k+1) % K``.  All emigrants are selected from the
    pre-migration snapshot, so the ring order does not matter.
-3. **Throughput.**  One worker process per ``workers`` is started once per
-   run (the evaluator — the heavy shared object — crosses the process
-   boundary once, via the pool initializer); per epoch only the small island
-   states travel.
+3. **Interruptibility.**  The epoch barrier is also the checkpoint boundary:
+   pass a :class:`~repro.pmevo.checkpoint.Checkpointer` to :meth:`IslandEvolver.run`
+   to write atomic snapshots, and a loaded
+   :class:`~repro.pmevo.checkpoint.CheckpointSnapshot` as ``resume`` to
+   continue a killed run bit-identically to an uninterrupted one.
 
 The scalarized fitness of Section 4.4 normalizes objectives *per
 population*: immigrants are re-ranked under the destination island's current
@@ -34,30 +45,45 @@ that, not raw throughput, is why migration helps search quality.
 
 from __future__ import annotations
 
-import multiprocessing
+import dataclasses
+import json
 import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.errors import InferenceError
+from repro.core.errors import CheckpointError, InferenceError
 from repro.core.experiment import ExperimentSet
+from repro.core.mapping import ThreeLevelMapping
 from repro.core.ports import PortSpace
+from repro.pmevo.checkpoint import Checkpointer, CheckpointSnapshot
 from repro.pmevo.evolution import (
     EvolutionConfig,
     EvolutionResult,
     EvolutionState,
     GenerationStats,
     PortMappingEvolver,
+    history_from_jsonable as _history_from_jsonable,
+    history_to_jsonable as _history_to_jsonable,
 )
-from repro.pmevo.population import copy_genome
+from repro.pmevo.population import (
+    copy_genome,
+    genome_from_jsonable,
+    genome_to_jsonable,
+)
+from repro.pmevo.transport import (
+    MigrationTransport,
+    PoolTransport,
+    SerialTransport,
+)
 
 __all__ = [
     "IslandResult",
     "IslandEvolver",
     "derive_island_rngs",
     "migrate_ring",
+    "default_transport",
 ]
 
 
@@ -67,6 +93,11 @@ class IslandResult(EvolutionResult):
 
     ``history`` (inherited) is the winning island's trajectory, so existing
     consumers keep working; the extra fields record the full picture.
+
+    The result round-trips through JSON (:meth:`to_json` / :meth:`from_json`)
+    with the same exactness guarantees as
+    :class:`~repro.pmevo.evolution.EvolutionState` — the serialized bytes are
+    what the transport-equivalence tests compare.
     """
 
     islands: int = 1
@@ -78,11 +109,89 @@ class IslandResult(EvolutionResult):
     island_davgs: list[float] = field(default_factory=list)
     islands_converged: list[bool] = field(default_factory=list)
 
+    def to_jsonable(self) -> dict:
+        """JSON-safe dict form of the complete result."""
+        return {
+            "mapping": self.mapping.to_dict(),
+            "genome": genome_to_jsonable(self.genome),
+            "davg": float(self.davg),
+            "volume": int(self.volume),
+            "generations": self.generations,
+            "evaluations": self.evaluations,
+            "wall_seconds": float(self.wall_seconds),
+            "history": _history_to_jsonable(self.history),
+            "converged": self.converged,
+            "islands": self.islands,
+            "workers": self.workers,
+            "epochs": self.epochs,
+            "migrations": self.migrations,
+            "best_island": self.best_island,
+            "island_histories": [
+                _history_to_jsonable(h) for h in self.island_histories
+            ],
+            "island_davgs": [float(v) for v in self.island_davgs],
+            "islands_converged": list(self.islands_converged),
+        }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_jsonable())
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping) -> "IslandResult":
+        """Rebuild a result from :meth:`to_jsonable` output.
+
+        Raises :class:`repro.core.errors.CheckpointError` on malformed
+        payloads.
+        """
+        try:
+            return cls(
+                mapping=ThreeLevelMapping.from_dict(data["mapping"]),
+                genome=genome_from_jsonable(data["genome"]),
+                davg=float(data["davg"]),
+                volume=int(data["volume"]),
+                generations=int(data["generations"]),
+                evaluations=int(data["evaluations"]),
+                wall_seconds=float(data["wall_seconds"]),
+                history=_history_from_jsonable(data["history"]),
+                converged=bool(data["converged"]),
+                islands=int(data["islands"]),
+                workers=int(data["workers"]),
+                epochs=int(data["epochs"]),
+                migrations=int(data["migrations"]),
+                best_island=int(data["best_island"]),
+                island_histories=[
+                    _history_from_jsonable(h) for h in data["island_histories"]
+                ],
+                island_davgs=[float(v) for v in data["island_davgs"]],
+                islands_converged=[bool(v) for v in data["islands_converged"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed island result: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "IslandResult":
+        """Deserialize from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"island result is not valid JSON: {exc}") from exc
+        return cls.from_jsonable(data)
+
 
 def derive_island_rngs(root_seed: int, islands: int) -> list[np.random.Generator]:
-    """Per-island generators spawned deterministically from one root seed."""
+    """Per-island generators spawned deterministically from one root seed.
+
+    A single island gets ``default_rng(root_seed)`` — the exact stream
+    :class:`PortMappingEvolver` uses — so a 1-island archipelago (e.g. a
+    sequential run that only wants checkpointing or a transport) is
+    bit-identical to the plain sequential Algorithm 1 for the same seed.
+    Multiple islands get independent streams via ``SeedSequence`` spawning.
+    """
     if islands < 1:
         raise InferenceError("need at least one island")
+    if islands == 1:
+        return [np.random.default_rng(root_seed)]
     children = np.random.SeedSequence(root_seed).spawn(islands)
     return [np.random.default_rng(sequence) for sequence in children]
 
@@ -125,22 +234,17 @@ def migrate_ring(states: list[EvolutionState], migration_size: int) -> int:
     return moved
 
 
-# -- worker-process plumbing -------------------------------------------------
+def default_transport(config: EvolutionConfig) -> MigrationTransport:
+    """The transport ``IslandEvolver`` uses when none is supplied.
 
-# The evolver (evaluator, measurement matrices, config) is installed once per
-# worker by the pool initializer; epoch jobs then only carry island states.
-_WORKER_EVOLVER: PortMappingEvolver | None = None
-
-
-def _install_worker_evolver(evolver: PortMappingEvolver) -> None:
-    global _WORKER_EVOLVER
-    _WORKER_EVOLVER = evolver
-
-
-def _advance_epoch(job: tuple[EvolutionState, int]) -> EvolutionState:
-    state, generations = job
-    assert _WORKER_EVOLVER is not None, "worker pool initializer did not run"
-    return _WORKER_EVOLVER.advance(state, generations)
+    ``workers <= 1`` (after capping at the island count) keeps everything
+    in-process; more workers get a ``multiprocessing`` pool — the same
+    behaviour the pre-transport implementation hard-coded.
+    """
+    workers = min(config.workers, config.islands)
+    if workers <= 1:
+        return SerialTransport()
+    return PoolTransport(workers)
 
 
 class IslandEvolver:
@@ -150,6 +254,16 @@ class IslandEvolver:
     same ``run()`` contract); each island holds ``config.population_size``
     individuals, so K islands search a K-fold larger gene pool while each
     generation's fitness batch stays small enough to parallelize.
+
+    Parameters
+    ----------
+    ports, measurements, singleton_throughputs, config:
+        As for :class:`PortMappingEvolver`.
+    transport:
+        Where epochs run (see :mod:`repro.pmevo.transport`).  Defaults to
+        :func:`default_transport` of the config — serial for one worker, a
+        process pool otherwise.  The choice cannot affect results, only
+        wall-clock.
     """
 
     def __init__(
@@ -158,20 +272,22 @@ class IslandEvolver:
         measurements: ExperimentSet,
         singleton_throughputs: Mapping[str, float],
         config: EvolutionConfig | None = None,
+        transport: MigrationTransport | None = None,
     ):
         self.config = config or EvolutionConfig()
         self.evolver = PortMappingEvolver(
             ports, measurements, singleton_throughputs, self.config
         )
         self.ports = ports
+        self.transport = transport
 
     # Separated out for testability: run one epoch's worth of generations on
-    # every active island, serially or on the pool.
+    # every active island via the transport.
     def _advance_all(
         self,
         states: list[EvolutionState],
         generations: int,
-        pool: multiprocessing.pool.Pool | None,
+        transport: MigrationTransport,
     ) -> list[EvolutionState]:
         jobs: list[tuple[int, EvolutionState]] = [
             (k, state)
@@ -180,36 +296,76 @@ class IslandEvolver:
         ]
         if not jobs:
             return states
-        if pool is None:
-            advanced = [
-                self.evolver.advance(state, generations) for _, state in jobs
-            ]
-        else:
-            advanced = pool.map(
-                _advance_epoch, [(state, generations) for _, state in jobs]
-            )
-        for (k, _), state in zip(jobs, advanced):
-            states[k] = state
+        for k, advanced in transport.advance(jobs, generations):
+            states[k] = advanced
         return states
 
-    def run(self) -> IslandResult:
-        """Evolve all islands to completion and return the global best."""
+    def _snapshot(
+        self, epochs: int, migrations: int, states: list[EvolutionState]
+    ) -> CheckpointSnapshot:
+        return CheckpointSnapshot(
+            config=self.config,
+            instructions=self.evolver.names,
+            num_ports=self.ports.num_ports,
+            epochs=epochs,
+            migrations=migrations,
+            states=states,
+        )
+
+    def _check_resume(self, resume: CheckpointSnapshot) -> None:
+        # `workers` only chooses where epochs run, never what they compute,
+        # so a checkpoint from an 8-core box may resume on a 4-core one.
+        if dataclasses.replace(resume.config, workers=self.config.workers) != self.config:
+            raise CheckpointError(
+                "checkpoint was written under a different evolution config; "
+                "resume with the same seed/population/island settings "
+                "(--workers may differ)"
+            )
+        if resume.instructions != self.evolver.names:
+            raise CheckpointError(
+                "checkpoint covers a different instruction universe than "
+                "this run (did the machine preset, --forms, or --seed change?)"
+            )
+        if resume.num_ports != self.ports.num_ports:
+            raise CheckpointError(
+                f"checkpoint was written for {resume.num_ports} ports, "
+                f"this run has {self.ports.num_ports}"
+            )
+        if len(resume.states) != self.config.islands:
+            raise CheckpointError(
+                f"checkpoint holds {len(resume.states)} island states, "
+                f"config wants {self.config.islands}"
+            )
+
+    def run(
+        self,
+        checkpointer: Checkpointer | None = None,
+        resume: CheckpointSnapshot | None = None,
+    ) -> IslandResult:
+        """Evolve all islands to completion and return the global best.
+
+        ``checkpointer`` persists a snapshot at every ``interval``-th epoch
+        barrier; ``resume`` continues from a loaded snapshot (validated
+        against this evolver's config and problem) and is bit-identical to
+        never having stopped.
+        """
         start_time = time.perf_counter()
         config = self.config
-        rngs = derive_island_rngs(config.seed, config.islands)
-        states = [self.evolver.init_state(rng) for rng in rngs]
+        transport = self.transport or default_transport(config)
 
-        workers = min(config.workers, config.islands)
-        pool: multiprocessing.pool.Pool | None = None
-        epochs = 0
-        migrations = 0
+        if resume is not None:
+            self._check_resume(resume)
+            states = list(resume.states)
+            epochs = resume.epochs
+            migrations = resume.migrations
+        else:
+            rngs = derive_island_rngs(config.seed, config.islands)
+            states = [self.evolver.init_state(rng) for rng in rngs]
+            epochs = 0
+            migrations = 0
+
         try:
-            if workers > 1:
-                pool = multiprocessing.Pool(
-                    processes=workers,
-                    initializer=_install_worker_evolver,
-                    initargs=(self.evolver,),
-                )
+            transport.start(self.evolver)
             while True:
                 active = [
                     s
@@ -218,7 +374,7 @@ class IslandEvolver:
                 ]
                 if not active:
                     break
-                states = self._advance_all(states, config.migration_interval, pool)
+                states = self._advance_all(states, config.migration_interval, transport)
                 epochs += 1
                 # Time-to-target runs: one island reaching the target ends
                 # the whole archipelago (decided at the epoch barrier, so
@@ -234,10 +390,10 @@ class IslandEvolver:
                     for s in states
                 ):
                     migrations += migrate_ring(states, config.migration_size)
+                if checkpointer is not None:
+                    checkpointer.after_epoch(self._snapshot(epochs, migrations, states))
         finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
+            transport.close()
 
         # Global winner: lexicographic (D_avg, volume) over each island's
         # champion, ties broken by island index for determinism.
@@ -259,7 +415,7 @@ class IslandEvolver:
             history=states[best_island].history,
             converged=all(s.converged for s in states),
             islands=config.islands,
-            workers=workers,
+            workers=min(config.workers, config.islands),
             epochs=epochs,
             migrations=migrations,
             best_island=best_island,

@@ -24,10 +24,12 @@ from repro.core.experiment import Experiment, ExperimentSet
 from repro.core.mapping import ThreeLevelMapping
 from repro.core.ports import PortSpace
 from repro.machine.measurement import Machine
+from repro.pmevo.checkpoint import Checkpointer, CheckpointSnapshot
 from repro.pmevo.congruence import CongruencePartition, find_congruence_classes
 from repro.pmevo.evolution import EvolutionConfig, EvolutionResult, PortMappingEvolver
 from repro.pmevo.expgen import pair_experiments, singleton_experiments
 from repro.pmevo.islands import IslandEvolver
+from repro.pmevo.transport import MigrationTransport
 
 __all__ = ["PMEvoConfig", "PMEvoResult", "infer_port_mapping"]
 
@@ -83,6 +85,10 @@ def infer_port_mapping(
     machine: Machine,
     names: Sequence[str] | None = None,
     config: PMEvoConfig | None = None,
+    *,
+    transport: MigrationTransport | None = None,
+    checkpointer: Checkpointer | None = None,
+    resume: CheckpointSnapshot | None = None,
 ) -> PMEvoResult:
     """Run the full PMEvo pipeline against a machine.
 
@@ -95,6 +101,16 @@ def infer_port_mapping(
         machine's full ISA).
     config:
         Pipeline configuration.
+    transport:
+        Where island epochs run (see :mod:`repro.pmevo.transport`); forces
+        the island evolver even for a single island.
+    checkpointer:
+        Writes atomic evolution snapshots at epoch barriers.
+    resume:
+        A loaded checkpoint to continue from.  The measurement and
+        congruence stages are deterministic for a fixed machine/seed, so
+        re-running them and resuming the evolution reproduces the
+        uninterrupted run bit-identically.
     """
     config = config or PMEvoConfig()
     universe = tuple(names if names is not None else machine.isa.names)
@@ -129,17 +145,27 @@ def infer_port_mapping(
     )
     # A single island is exactly the sequential Algorithm 1; more than one
     # switches to the island-model parallel search (Section 4.5's
-    # "parallelized implementation of a genetic algorithm").
-    evolver_class = (
-        IslandEvolver if config.evolution.islands > 1 else PortMappingEvolver
+    # "parallelized implementation of a genetic algorithm").  Transports and
+    # checkpoints live on the island loop, so asking for either also selects
+    # it (a 1-island archipelago never migrates).
+    representative_singles = {
+        k: v for k, v in singleton_throughputs.items() if k in representatives
+    }
+    use_islands = (
+        config.evolution.islands > 1
+        or transport is not None
+        or checkpointer is not None
+        or resume is not None
     )
-    evolver = evolver_class(
-        ports,
-        reduced,
-        {k: v for k, v in singleton_throughputs.items() if k in representatives},
-        config.evolution,
-    )
-    evolution = evolver.run()
+    if use_islands:
+        evolver = IslandEvolver(
+            ports, reduced, representative_singles, config.evolution, transport
+        )
+        evolution = evolver.run(checkpointer=checkpointer, resume=resume)
+    else:
+        evolution = PortMappingEvolver(
+            ports, reduced, representative_singles, config.evolution
+        ).run()
 
     # Extend the representative mapping to all congruent instructions.
     full_mapping = evolution.mapping.extended_by(partition.translation())

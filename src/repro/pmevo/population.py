@@ -32,6 +32,8 @@ __all__ = [
     "genome_to_mapping",
     "genome_key",
     "copy_genome",
+    "genome_to_jsonable",
+    "genome_from_jsonable",
 ]
 
 #: A genome: instruction name -> (port mask -> µop multiplicity).
@@ -48,6 +50,28 @@ def genome_key(genome: Genome) -> tuple:
     return tuple(
         (name, tuple(sorted(uops.items()))) for name, uops in sorted(genome.items())
     )
+
+
+def genome_to_jsonable(genome: Genome) -> dict[str, dict[str, int]]:
+    """JSON-safe form of a genome (mask keys become strings).
+
+    Insertion order of instructions and µops is preserved, so a round trip
+    through :func:`genome_from_jsonable` reproduces the genome exactly —
+    including dict iteration order, which checkpoint/resume bit-identity
+    depends on.
+    """
+    return {
+        name: {str(mask): count for mask, count in uops.items()}
+        for name, uops in genome.items()
+    }
+
+
+def genome_from_jsonable(data: Mapping[str, Mapping[str, int]]) -> Genome:
+    """Inverse of :func:`genome_to_jsonable`."""
+    return {
+        name: {int(mask): int(count) for mask, count in uops.items()}
+        for name, uops in data.items()
+    }
 
 
 def genome_volume(genome: Genome) -> int:

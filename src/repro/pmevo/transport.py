@@ -1,0 +1,634 @@
+"""Migration transports: how island states move during an epoch.
+
+:class:`~repro.pmevo.islands.IslandEvolver` runs K populations through
+alternating *epochs* (``migration_interval`` generations of independent
+evolution) and *migrations* (elite exchange around the ring).  The epoch is
+embarrassingly parallel, and everything an epoch needs travels inside the
+:class:`~repro.pmevo.evolution.EvolutionState` — so the island loop does not
+care *where* an epoch runs.  This module makes that explicit: a
+:class:`MigrationTransport` ships states out, advances them, and ships them
+back, and the evolver is written against the protocol alone.
+
+Protocol contract
+-----------------
+A transport has three methods, called in this order by one driving thread:
+
+``start(evolver)``
+    Called once before the first epoch with the fully constructed
+    :class:`~repro.pmevo.evolution.PortMappingEvolver` (the heavy shared
+    object: evaluator, measurement matrices, config).  The transport may
+    distribute it to workers here; it crosses any process/network boundary
+    exactly once per run.
+``advance(jobs, generations)``
+    ``jobs`` is a list of ``(island_index, state)`` pairs.  The transport
+    must return ``(island_index, advanced_state)`` for *every* job (any
+    order), where ``advanced_state`` is exactly
+    ``evolver.advance(state, generations)``.  It must not advance a state it
+    was not given and must not reorder generations within a state.
+``close()``
+    Called once (also on error paths); releases pools/sockets.  Idempotent.
+
+Reproducibility guarantee
+-------------------------
+``evolver.advance`` is a pure function of ``(state, generations)`` — each
+state carries its own numpy generator — so *who* computes an epoch cannot
+change its result.  All transports therefore produce bit-identical runs for
+a fixed seed; ``tests/test_transport_equivalence.py`` pins
+Serial = Pool = Socket down to the serialized result bytes.
+
+Failure semantics
+-----------------
+:class:`SerialTransport` and :class:`PoolTransport` fail loudly (pool errors
+propagate).  :class:`SocketTransport` degrades instead: workers announce
+themselves with a hello/version handshake, send heartbeats while computing,
+and are declared dead after ``heartbeat_timeout`` seconds of silence (or any
+socket/framing error), at which point their leased epochs are reassigned to
+live workers.  If every worker dies the coordinator finishes the epoch
+in-process — a run that started always completes, and because of the purity
+argument above the recovery path cannot change the result.  Startup is the
+exception: fewer than ``min_workers`` connections within ``start_timeout``
+raises :class:`repro.core.errors.TransportError`.
+
+Wire format (socket transport)
+------------------------------
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  Messages carry a ``"type"``
+key: ``hello`` (worker → coordinator, with ``"protocol"``), ``setup``
+(coordinator → worker, the serialized problem), ``job`` / ``result``
+(a leased epoch and its advanced state), ``heartbeat`` (worker →
+coordinator, periodic), and ``shutdown`` (coordinator → worker).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import select
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from collections.abc import Mapping
+from typing import Protocol, runtime_checkable
+
+from repro.core.errors import CheckpointError, TransportError
+from repro.core.experiment import Experiment, ExperimentSet
+from repro.core.ports import PortSpace
+from repro.pmevo.evolution import (
+    EvolutionState,
+    PortMappingEvolver,
+    config_from_jsonable,
+    config_to_jsonable,
+)
+
+__all__ = [
+    "MigrationTransport",
+    "SerialTransport",
+    "PoolTransport",
+    "SocketTransport",
+    "run_worker",
+    "parse_address",
+    "problem_to_jsonable",
+    "evolver_from_jsonable",
+    "PROTOCOL_VERSION",
+]
+
+#: Version tag of the hello handshake; bumped on incompatible frame changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame (guards against garbage length prefixes).
+_MAX_FRAME_BYTES = 1 << 29
+
+_LENGTH = struct.Struct(">I")
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: Mapping, lock: threading.Lock | None = None) -> None:
+    """Send one length-prefixed JSON frame (optionally under ``lock``)."""
+    payload = json.dumps(message).encode("utf-8")
+    if len(payload) > _MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {len(payload)} bytes exceeds the limit")
+    data = _LENGTH.pack(len(payload)) + payload
+    if lock is None:
+        sock.sendall(data)
+    else:
+        with lock:
+            sock.sendall(data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise TransportError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Receive one frame; ``None`` on a clean EOF between frames.
+
+    Raises :class:`TransportError` on truncated frames, oversized lengths,
+    or payloads that are not a JSON object.
+    """
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > _MAX_FRAME_BYTES:
+        raise TransportError(f"announced frame of {length} bytes exceeds the limit")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise TransportError("connection closed between length and payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise TransportError(f"frame is not a JSON object: {message!r}")
+    return message
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` string (used by ``--bind`` / ``--connect``)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise TransportError(f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise TransportError(f"invalid port in {text!r}") from exc
+    if not 0 <= port <= 65535:
+        raise TransportError(f"port out of range in {text!r}")
+    return host, port
+
+
+# -- problem serialization ----------------------------------------------------
+
+
+def problem_to_jsonable(evolver: PortMappingEvolver) -> dict:
+    """JSON-safe description of an evolver's inference problem.
+
+    Captures everything a remote worker needs to rebuild an equivalent
+    :class:`PortMappingEvolver`: the port space, the measured experiments
+    (insertion order preserved — fitness evaluation iterates them), the
+    singleton throughputs, and the evolution config.
+    """
+    return {
+        "ports": list(evolver.ports.names),
+        "experiments": [
+            {"counts": dict(item.experiment.counts), "throughput": item.throughput}
+            for item in evolver.measurements
+        ],
+        "singleton_throughputs": dict(evolver.singleton_throughputs),
+        "config": config_to_jsonable(evolver.config),
+    }
+
+
+def evolver_from_jsonable(data: Mapping) -> PortMappingEvolver:
+    """Rebuild a :class:`PortMappingEvolver` from :func:`problem_to_jsonable`."""
+    try:
+        ports = PortSpace(data["ports"])
+        measurements = ExperimentSet()
+        for entry in data["experiments"]:
+            measurements.add(Experiment(entry["counts"]), float(entry["throughput"]))
+        singles = {
+            str(name): float(value)
+            for name, value in data["singleton_throughputs"].items()
+        }
+        config = config_from_jsonable(data["config"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TransportError(f"malformed problem payload: {exc}") from exc
+    return PortMappingEvolver(ports, measurements, singles, config)
+
+
+# -- the protocol and the in-process transports -------------------------------
+
+
+@runtime_checkable
+class MigrationTransport(Protocol):
+    """Where epochs run; see the module docstring for the full contract."""
+
+    def start(self, evolver: PortMappingEvolver) -> None:
+        """Prepare for epochs of ``evolver`` (distribute it to workers)."""
+
+    def advance(
+        self, jobs: list[tuple[int, EvolutionState]], generations: int
+    ) -> list[tuple[int, EvolutionState]]:
+        """Advance every ``(island, state)`` job by ``generations``."""
+
+    def close(self) -> None:
+        """Release resources; idempotent, called on error paths too."""
+
+
+class SerialTransport:
+    """Runs every epoch in the calling process.  Zero dependencies, zero
+    overhead; the reference against which the other transports are pinned."""
+
+    def __init__(self) -> None:
+        self._evolver: PortMappingEvolver | None = None
+
+    def start(self, evolver: PortMappingEvolver) -> None:
+        self._evolver = evolver
+
+    def advance(
+        self, jobs: list[tuple[int, EvolutionState]], generations: int
+    ) -> list[tuple[int, EvolutionState]]:
+        assert self._evolver is not None, "start() was not called"
+        return [(k, self._evolver.advance(state, generations)) for k, state in jobs]
+
+    def close(self) -> None:
+        self._evolver = None
+
+
+# The evolver is installed once per pool worker by the initializer; epoch
+# jobs then only carry island states.
+_WORKER_EVOLVER: PortMappingEvolver | None = None
+
+
+def _install_worker_evolver(evolver: PortMappingEvolver) -> None:
+    global _WORKER_EVOLVER
+    _WORKER_EVOLVER = evolver
+
+
+def _advance_epoch(job: tuple[EvolutionState, int]) -> EvolutionState:
+    state, generations = job
+    assert _WORKER_EVOLVER is not None, "worker pool initializer did not run"
+    return _WORKER_EVOLVER.advance(state, generations)
+
+
+class PoolTransport:
+    """Runs epochs on a ``multiprocessing`` pool (the single-host default).
+
+    The evolver crosses the process boundary once via the pool initializer;
+    per epoch only the small pickled island states travel.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise TransportError("pool transport needs at least one worker")
+        self.workers = workers
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    def start(self, evolver: PortMappingEvolver) -> None:
+        self._pool = multiprocessing.Pool(
+            processes=self.workers,
+            initializer=_install_worker_evolver,
+            initargs=(evolver,),
+        )
+
+    def advance(
+        self, jobs: list[tuple[int, EvolutionState]], generations: int
+    ) -> list[tuple[int, EvolutionState]]:
+        assert self._pool is not None, "start() was not called"
+        advanced = self._pool.map(
+            _advance_epoch, [(state, generations) for _, state in jobs]
+        )
+        return [(k, state) for (k, _), state in zip(jobs, advanced)]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+# -- the socket transport -----------------------------------------------------
+
+
+class _RemoteWorker:
+    """Coordinator-side bookkeeping for one connected worker."""
+
+    __slots__ = ("sock", "address", "last_seen", "island", "job_id", "state_payload")
+
+    def __init__(self, sock: socket.socket, address):
+        self.sock = sock
+        self.address = address
+        self.last_seen = time.monotonic()
+        self.island: int | None = None
+        self.job_id: int | None = None
+        self.state_payload: dict | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.job_id is not None
+
+
+class SocketTransport:
+    """TCP coordinator that leases epochs to ``repro-pmevo worker`` processes.
+
+    Workers connect (possibly from other machines), complete a
+    hello/version handshake, and receive the serialized inference problem
+    once.  Each epoch the coordinator leases one ``(island, state)`` job per
+    idle worker, collects advanced states, and re-leases the jobs of workers
+    that died (socket error, malformed frame, or ``heartbeat_timeout``
+    seconds without a frame).  Late joiners are accepted mid-run and start
+    receiving leases at the next assignment opportunity.  If the last worker
+    dies, the remaining jobs of the epoch run in the coordinator process —
+    see the module docstring for why no recovery path can change results.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 picks an ephemeral port (``address`` holds the
+        actual one after :meth:`listen`).
+    min_workers:
+        How many workers :meth:`start` waits for before the first epoch.
+    heartbeat_timeout:
+        Seconds of per-worker silence before its lease is reassigned.
+    start_timeout:
+        Seconds :meth:`start` waits for ``min_workers`` connections.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        min_workers: int = 1,
+        heartbeat_timeout: float = 30.0,
+        start_timeout: float = 120.0,
+    ):
+        if min_workers < 1:
+            raise TransportError("socket transport needs at least one worker")
+        self._bind = (host, port)
+        self.min_workers = min_workers
+        self.heartbeat_timeout = heartbeat_timeout
+        self.start_timeout = start_timeout
+        self.address: tuple[str, int] | None = None
+        self._listener: socket.socket | None = None
+        self._workers: dict[socket.socket, _RemoteWorker] = {}
+        self._evolver: PortMappingEvolver | None = None
+        self._setup_payload: dict | None = None
+        self._next_job_id = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def listen(self) -> tuple[str, int]:
+        """Open the listening socket (idempotent) and return its address.
+
+        Split out from :meth:`start` so a CLI can print the ephemeral port
+        for workers to connect to *before* the (potentially long)
+        measurement phase that precedes the first epoch.
+        """
+        if self._listener is None:
+            self._listener = socket.create_server(self._bind, backlog=16)
+            self.address = self._listener.getsockname()[:2]
+        return self.address
+
+    def start(self, evolver: PortMappingEvolver) -> None:
+        self._evolver = evolver
+        self._setup_payload = {"type": "setup", "problem": problem_to_jsonable(evolver)}
+        self.listen()
+        deadline = time.monotonic() + self.start_timeout
+        while len(self._workers) < self.min_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"timed out after {self.start_timeout:.0f}s waiting for "
+                    f"{self.min_workers} worker(s) on {self.address[0]}:{self.address[1]} "
+                    f"({len(self._workers)} connected); start workers with "
+                    f"`repro-pmevo worker --connect HOST:PORT`"
+                )
+            readable, _, _ = select.select([self._listener], [], [], min(remaining, 0.5))
+            if readable:
+                self._accept_one()
+
+    def close(self) -> None:
+        for worker in list(self._workers.values()):
+            try:
+                send_frame(worker.sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            worker.sock.close()
+        self._workers.clear()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    # -- worker management -------------------------------------------------
+
+    def _accept_one(self) -> None:
+        """Accept one pending connection and complete the handshake."""
+        assert self._listener is not None
+        try:
+            sock, address = self._listener.accept()
+        except OSError:
+            return
+        # The handshake runs on the coordinator's only thread: keep its
+        # timeout short so a silent connection (port scanner, half-open
+        # socket) cannot stall epoch collection for heartbeat_timeout.
+        sock.settimeout(min(5.0, self.heartbeat_timeout))
+        try:
+            hello = recv_frame(sock)
+            if (
+                hello is None
+                or hello.get("type") != "hello"
+                or hello.get("protocol") != PROTOCOL_VERSION
+            ):
+                raise TransportError(f"bad handshake from {address}: {hello!r}")
+            if self._setup_payload is not None:
+                send_frame(sock, self._setup_payload)
+        except (OSError, TransportError):
+            sock.close()
+            return
+        sock.settimeout(self.heartbeat_timeout)
+        self._workers[sock] = _RemoteWorker(sock, address)
+
+    def _drop(self, worker: _RemoteWorker, pending: deque) -> None:
+        """Forget a dead worker, requeueing its leased epoch if any."""
+        self._workers.pop(worker.sock, None)
+        worker.sock.close()
+        if worker.island is not None and worker.state_payload is not None:
+            pending.appendleft((worker.island, worker.state_payload))
+
+    def _assign(self, worker: _RemoteWorker, island: int, state_payload: dict, generations: int) -> None:
+        # Record the lease BEFORE sending: if sendall raises (worker died
+        # between epochs), _drop() finds the lease on the worker and
+        # requeues it — otherwise the epoch would be lost and advance()
+        # could never complete.
+        self._next_job_id += 1
+        worker.island = island
+        worker.job_id = self._next_job_id
+        worker.state_payload = state_payload
+        send_frame(
+            worker.sock,
+            {
+                "type": "job",
+                "job_id": worker.job_id,
+                "generations": generations,
+                "state": state_payload,
+            },
+        )
+
+    # -- the epoch ---------------------------------------------------------
+
+    def advance(
+        self, jobs: list[tuple[int, EvolutionState]], generations: int
+    ) -> list[tuple[int, EvolutionState]]:
+        assert self._evolver is not None, "start() was not called"
+        # States are serialized once up front; the payload doubles as the
+        # requeue ticket when a worker dies mid-epoch.
+        pending: deque[tuple[int, dict]] = deque(
+            (island, state.to_jsonable()) for island, state in jobs
+        )
+        results: dict[int, EvolutionState] = {}
+
+        while len(results) < len(jobs):
+            # Lease pending epochs to idle workers.
+            for worker in list(self._workers.values()):
+                if not pending:
+                    break
+                if worker.busy:
+                    continue
+                island, payload = pending.popleft()
+                try:
+                    self._assign(worker, island, payload, generations)
+                except OSError:
+                    self._drop(worker, pending)
+
+            # Everyone is gone: check for a late joiner first, then advance
+            # one pending epoch locally (deterministic — the same advance()
+            # a worker would have computed) and look again, so replacement
+            # workers are picked up between jobs instead of idling until
+            # the run ends.
+            if not self._workers:
+                joinable, _, _ = select.select([self._listener], [], [], 0)
+                if joinable:
+                    self._accept_one()
+                    continue
+                if pending:
+                    island, payload = pending.popleft()
+                    state = EvolutionState.from_jsonable(payload)
+                    results[island] = self._evolver.advance(state, generations)
+                continue
+
+            sockets = [self._listener] + list(self._workers)
+            readable, _, _ = select.select(sockets, [], [], 0.5)
+            now = time.monotonic()
+            for sock in readable:
+                if sock is self._listener:
+                    self._accept_one()
+                    continue
+                worker = self._workers.get(sock)
+                if worker is None:
+                    continue
+                try:
+                    frame = recv_frame(sock)
+                except (OSError, TransportError):
+                    frame = None
+                if frame is None:
+                    self._drop(worker, pending)
+                    continue
+                worker.last_seen = now
+                if frame.get("type") != "result":
+                    continue  # heartbeat (or junk we tolerate)
+                if frame.get("job_id") != worker.job_id:
+                    continue  # stale result for a reassigned lease
+                try:
+                    state = EvolutionState.from_jsonable(frame["state"])
+                except (KeyError, CheckpointError):
+                    self._drop(worker, pending)
+                    continue
+                results[worker.island] = state
+                worker.island = worker.job_id = worker.state_payload = None
+
+            # Reap workers that went silent mid-lease.
+            for worker in list(self._workers.values()):
+                if now - worker.last_seen > self.heartbeat_timeout:
+                    self._drop(worker, pending)
+
+        return [(island, results[island]) for island, _ in jobs]
+
+
+# -- the worker process --------------------------------------------------------
+
+
+def run_worker(
+    host: str,
+    port: int,
+    heartbeat_interval: float = 2.0,
+    connect_retries: int = 40,
+    retry_delay: float = 0.25,
+) -> int:
+    """Serve epochs for a :class:`SocketTransport` coordinator; returns an
+    exit code.
+
+    Connects (retrying while the coordinator's listener comes up), performs
+    the hello/version handshake, rebuilds the evolver from the setup frame,
+    then loops: receive a leased epoch, advance it, send the result.  A
+    daemon thread emits heartbeats every ``heartbeat_interval`` seconds for
+    the whole connection lifetime, so the coordinator can tell a slow epoch
+    from a dead worker.  Exits cleanly on a ``shutdown`` frame or when the
+    coordinator closes the connection.
+    """
+    sock: socket.socket | None = None
+    last_error: OSError | None = None
+    for _ in range(connect_retries):
+        try:
+            sock = socket.create_connection((host, port), timeout=30.0)
+            break
+        except OSError as exc:
+            last_error = exc
+            time.sleep(retry_delay)
+    if sock is None:
+        raise TransportError(
+            f"could not connect to coordinator at {host}:{port}: {last_error}"
+        )
+    sock.settimeout(None)
+
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                send_frame(sock, {"type": "heartbeat"}, lock=send_lock)
+            except OSError:
+                return
+
+    try:
+        send_frame(sock, {"type": "hello", "protocol": PROTOCOL_VERSION}, lock=send_lock)
+        setup = recv_frame(sock)
+        if setup is None or setup.get("type") != "setup":
+            raise TransportError(f"expected setup frame, got {setup!r}")
+        evolver = evolver_from_jsonable(setup["problem"])
+
+        beater = threading.Thread(target=_heartbeat, daemon=True)
+        beater.start()
+
+        # Once serving, a vanished coordinator (connection reset while
+        # receiving a job or sending a result — e.g. it reassigned our
+        # lease after a stall and closed the socket) is a normal end of
+        # service, not a worker failure: exit cleanly.
+        try:
+            while True:
+                message = recv_frame(sock)
+                if message is None or message.get("type") == "shutdown":
+                    return 0
+                if message.get("type") != "job":
+                    continue
+                state = EvolutionState.from_jsonable(message["state"])
+                advanced = evolver.advance(state, int(message["generations"]))
+                send_frame(
+                    sock,
+                    {
+                        "type": "result",
+                        "job_id": message["job_id"],
+                        "state": advanced.to_jsonable(),
+                    },
+                    lock=send_lock,
+                )
+        except (OSError, TransportError):
+            return 0
+    finally:
+        stop.set()
+        sock.close()

@@ -3,23 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import Experiment, ExperimentSet, InferenceError, PortSpace
+from repro.pmevo.testing import measurements_from_truth as _measurements_from_truth
+from repro.core import InferenceError, PortSpace
 from repro.pmevo import EvolutionConfig, PortMappingEvolver
-from repro.throughput import BatchedThroughputEvaluator
-
-
-def _measurements_from_truth(truth, names, num_ports, extra_pairs=()):
-    experiments = [Experiment({n: 1}) for n in names]
-    for i, a in enumerate(names):
-        for b in names[i + 1 :]:
-            experiments.append(Experiment({a: 1, b: 1}))
-    experiments.extend(Experiment(dict(p)) for p in extra_pairs)
-    probe = BatchedThroughputEvaluator(experiments, names, num_ports)
-    measured = ExperimentSet()
-    for experiment, value in zip(experiments, probe.throughputs(truth)):
-        measured.add(experiment, float(value))
-    singles = {n: measured.singleton_throughput(n) for n in names}
-    return measured, singles
 
 
 class TestEvolutionConfigValidation:

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import Experiment, ExperimentSet, InferenceError, PortSpace
+from repro.pmevo.testing import measurements_from_truth as _measurements_from_truth
+from repro.core import InferenceError, PortSpace
 from repro.pmevo import (
     EvolutionConfig,
     IslandEvolver,
@@ -13,20 +14,6 @@ from repro.pmevo import (
     migrate_ring,
 )
 from repro.pmevo.population import genome_key
-from repro.throughput import BatchedThroughputEvaluator
-
-
-def _measurements_from_truth(truth, names, num_ports):
-    experiments = [Experiment({n: 1}) for n in names]
-    for i, a in enumerate(names):
-        for b in names[i + 1 :]:
-            experiments.append(Experiment({a: 1, b: 1}))
-    probe = BatchedThroughputEvaluator(experiments, names, num_ports)
-    measured = ExperimentSet()
-    for experiment, value in zip(experiments, probe.throughputs(truth)):
-        measured.add(experiment, float(value))
-    singles = {n: measured.singleton_throughput(n) for n in names}
-    return measured, singles
 
 
 def _island_evolver(config):
@@ -180,8 +167,9 @@ class TestIslandRun:
         assert result.davg <= min(result.island_davgs) + 1e-12
 
     def test_single_island_matches_sequential_search_quality(self):
-        # islands=1 never migrates and is just Algorithm 1 with a
-        # SeedSequence-derived stream; it must still find the planted truth.
+        # islands=1 never migrates and uses the sequential evolver's own
+        # default_rng(seed) stream (see derive_island_rngs); it must still
+        # find the planted truth.
         config = EvolutionConfig(
             population_size=60, max_generations=60, seed=0, islands=1
         )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Link checker for the repository's markdown documentation.
+
+Validates, without any third-party dependency:
+
+* relative links and images (``[text](path)``) point at files or
+  directories that exist (anchors are stripped; external ``http(s)``,
+  ``mailto`` and bare-anchor links are skipped),
+* backtick-quoted repo paths that look like files (``docs/cli.md``,
+  ``src/repro/pmevo/transport.py``, ``tests/test_islands.py``) exist, so
+  prose references cannot rot silently.
+
+Usage: ``python tools/check_links.py [FILES...]`` — defaults to README.md
+plus everything under docs/.  Exits non-zero listing every broken
+reference.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images' alt text is irrelevant, same syntax.
+_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: `path/with/slash.ext` mentioned in prose or tables.
+_BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.[A-Za-z0-9]{1,5})`")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks — paths in shell examples may be outputs."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    prose = _strip_code_blocks(text)
+
+    for match in _MARKDOWN_LINK.finditer(prose):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+
+    for match in _BACKTICK_PATH.finditer(prose):
+        candidate = match.group(1)
+        if candidate.startswith(_SKIP_PREFIXES) or candidate.startswith("~"):
+            continue
+        # Resolve relative to the repo root (how prose references read) and
+        # to the file's own directory; either existing is fine.
+        if not (REPO_ROOT / candidate).exists() and not (
+            path.parent / candidate
+        ).exists():
+            errors.append(f"{path}: dangling path reference -> {candidate}")
+
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for f in files:
+        errors.extend(check_file(f))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): {len(errors)} broken reference(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
