@@ -26,6 +26,16 @@ def write_result(name: str, text: str) -> None:
     print(text)
 
 
+def append_result(name: str, text: str) -> None:
+    """Append to a bench's record under benchmarks/results/ (kept across
+    runs, so regressions show up as history rather than overwrites)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.txt", "a", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+
+
 def stratified_forms(machine: Machine, per_class: int = 1, limit: int = 24) -> list[str]:
     """A deterministic, semantically diverse subsample of instruction forms.
 

@@ -41,6 +41,7 @@ from repro.pmevo.expgen import (
 from repro.pmevo.fitness import ObjectiveValues, normalize_objective, scalarized_fitness
 from repro.pmevo.localsearch import local_search
 from repro.pmevo.operators import mutate, recombine
+from repro.pmevo.packed import PackedPopulation
 from repro.pmevo.pipeline import PMEvoConfig, PMEvoResult, infer_port_mapping
 from repro.pmevo.population import (
     Genome,
@@ -84,6 +85,7 @@ __all__ = [
     "recombine",
     "mutate",
     "Genome",
+    "PackedPopulation",
     "random_genome",
     "random_population",
     "genome_volume",

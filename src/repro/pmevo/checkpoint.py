@@ -23,6 +23,11 @@ Guarantees:
   resuming against a different config or instruction universe — raise
   :class:`repro.core.errors.CheckpointError` with a message naming the
   problem.
+
+Island populations inside a snapshot use the packed base64 npz encoding of
+:class:`~repro.pmevo.packed.PackedPopulation`, which keeps checkpoints of
+realistic populations compact; snapshots from before that encoding (plain
+per-genome JSON lists) still load.
 """
 
 from __future__ import annotations

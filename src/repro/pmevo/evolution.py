@@ -27,8 +27,12 @@ Serialization
 :class:`EvolutionState` round-trips through JSON (:meth:`EvolutionState.to_json`
 / :meth:`EvolutionState.from_json`): the population, the objective arrays, the
 generation counters, *and the numpy bit-generator state* are all captured, so
-a deserialized state continues bit-identically to the original.  This single
-codec underlies both the socket migration transport
+a deserialized state continues bit-identically to the original.  The
+population travels as a base64-armoured compressed npz of its
+:class:`~repro.pmevo.packed.PackedPopulation` form — a fraction of the size
+of the old per-genome JSON dicts, which is what the migration transports and
+checkpoints ship per epoch (legacy list-shaped payloads still deserialize).
+This single codec underlies both the socket migration transport
 (:mod:`repro.pmevo.transport`) and checkpoint/resume
 (:mod:`repro.pmevo.checkpoint`).  Malformed payloads raise
 :class:`repro.core.errors.CheckpointError`.
@@ -51,11 +55,11 @@ from repro.core.ports import PortSpace
 from repro.pmevo.fitness import scalarized_fitness
 from repro.pmevo.localsearch import local_search
 from repro.pmevo.operators import mutate, recombine
+from repro.pmevo.packed import PackedPopulation
 from repro.pmevo.population import (
     Genome,
     genome_from_jsonable,
     genome_key,
-    genome_to_jsonable,
     genome_to_mapping,
     genome_volume,
     random_population,
@@ -232,10 +236,23 @@ class EvolutionState:
     # run identically.  This is the wire format of the socket transport and
     # the on-disk format of checkpoints.
 
+    #: Tag of the packed population encoding inside state payloads.
+    POPULATION_ENCODING = "packed-npz-b64"
+
     def to_jsonable(self) -> dict:
-        """JSON-safe dict capturing the complete resumable state."""
+        """JSON-safe dict capturing the complete resumable state.
+
+        The population is embedded as a compact binary payload (compressed
+        npz of the packed arrays, base64-armoured); everything else stays
+        plain JSON.  :meth:`from_jsonable` also accepts the legacy
+        list-of-genome-dicts shape, so pre-packed checkpoints remain
+        loadable.
+        """
         return {
-            "population": [genome_to_jsonable(g) for g in self.population],
+            "population": {
+                "encoding": self.POPULATION_ENCODING,
+                "data": PackedPopulation.from_genomes(self.population).to_npz_base64(),
+            },
             "davgs": [float(v) for v in self.davgs],
             "volumes": [float(v) for v in self.volumes],
             "rng": self.rng.bit_generator.state,
@@ -274,8 +291,21 @@ class EvolutionState:
             bit_generator = generator_type()
             bit_generator.state = rng_payload
             best_key = data["best_key"]
+            population_payload = data["population"]
+            if isinstance(population_payload, Mapping):
+                encoding = population_payload.get("encoding")
+                if encoding != cls.POPULATION_ENCODING:
+                    raise CheckpointError(
+                        f"unknown population encoding {encoding!r} in state"
+                    )
+                population = PackedPopulation.from_npz_base64(
+                    population_payload["data"]
+                ).to_genomes()
+            else:
+                # Legacy shape: a list of per-genome JSON dicts.
+                population = [genome_from_jsonable(g) for g in population_payload]
             return cls(
-                population=[genome_from_jsonable(g) for g in data["population"]],
+                population=population,
                 davgs=np.asarray(data["davgs"], dtype=np.float64),
                 volumes=np.asarray(data["volumes"], dtype=np.float64),
                 rng=np.random.Generator(bit_generator),
@@ -342,24 +372,27 @@ class PortMappingEvolver:
         self.evaluator = BatchedThroughputEvaluator(
             measurements, self.names, ports.num_ports
         )
+        # One preallocated evaluation workspace per evolver, reused by every
+        # generation's fitness batch (population-sized batches stream through
+        # it in `batch_chunk`-sized chunks).
+        self._workspace = self.evaluator.packed_workspace(self.config.batch_chunk)
         self._rng = np.random.default_rng(self.config.seed)
 
     # -- evaluation --------------------------------------------------------
 
     def _evaluate(self, genomes: Sequence[Genome]) -> tuple[np.ndarray, np.ndarray]:
-        """(D_avg, volume) arrays for a batch of genomes."""
-        davgs = np.empty(len(genomes))
-        volumes = np.empty(len(genomes))
-        chunk = self.config.batch_chunk
-        for start in range(0, len(genomes), chunk):
-            part = genomes[start : start + chunk]
-            matrices = np.stack([self.evaluator.uop_matrix(g) for g in part])
-            predicted = self.evaluator.throughputs_from_matrices(matrices)
-            davgs[start : start + len(part)] = self.evaluator.davg_from_throughputs(
-                predicted
-            )
-        for i, genome in enumerate(genomes):
-            volumes[i] = genome_volume(genome)
+        """(D_avg, volume) arrays for a batch of genomes.
+
+        The batch is packed once into a :class:`PackedPopulation` and
+        evaluated by the population-wide kernel — the only Python-level
+        per-genome work left in the hot loop is the packing itself.
+        """
+        packed = PackedPopulation.from_genomes(genomes, self.names)
+        predicted = self.evaluator.throughputs_from_packed(
+            packed, workspace=self._workspace
+        )
+        davgs = self.evaluator.davg_from_throughputs(predicted)
+        volumes = packed.volumes().astype(np.float64)
         return davgs, volumes
 
     # -- stepping primitives ------------------------------------------------

@@ -15,7 +15,9 @@ pool (:class:`~repro.pmevo.transport.PoolTransport`, the default for
 processes on other machines
 (:class:`~repro.pmevo.transport.SocketTransport`).  The run loop only ever
 sees ``(island, state)`` pairs going out and coming back at the epoch
-barrier.
+barrier; on the wire each state's population rides as a packed npz blob
+(:class:`~repro.pmevo.packed.PackedPopulation`), keeping epoch payloads
+small.
 
 Design goals, in order:
 

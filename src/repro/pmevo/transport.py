@@ -28,6 +28,13 @@ A transport has three methods, called in this order by one driving thread:
 ``close()``
     Called once (also on error paths); releases pools/sockets.  Idempotent.
 
+States cross process and network boundaries in the
+:meth:`~repro.pmevo.evolution.EvolutionState.to_json` wire form, whose
+population travels as a packed base64 npz blob
+(:class:`~repro.pmevo.packed.PackedPopulation`) — far smaller than the
+per-genome JSON dicts it replaced, which matters per epoch on the socket
+transport.
+
 Reproducibility guarantee
 -------------------------
 ``evolver.advance`` is a pure function of ``(state, generations)`` — each

@@ -1,6 +1,10 @@
 """Analytical throughput models: LP (Definition 3) and bottleneck (Eq. 1)."""
 
-from repro.throughput.batched import BatchedThroughputEvaluator
+from repro.throughput.batched import (
+    HAVE_NUMBA,
+    BatchedThroughputEvaluator,
+    PackedWorkspace,
+)
 from repro.throughput.bottleneck import (
     bottleneck_throughput,
     bottleneck_throughput_dense,
@@ -24,6 +28,8 @@ __all__ = [
     "build_lp",
     "LPProblem",
     "BatchedThroughputEvaluator",
+    "PackedWorkspace",
+    "HAVE_NUMBA",
     "MappingPredictor",
     "ThroughputPredictor",
     "predict_many",

@@ -16,11 +16,27 @@ The pipeline per candidate is
 Step 2 is a single BLAS matrix product, steps 3–4 are ``|P|`` slice-adds and
 one reduction, so the per-candidate cost is far below solving hundreds of
 LPs — the property that makes population-scale search practical.
+
+Population-scale path
+---------------------
+The per-genome pipeline above still pays Python dict traffic per candidate
+(:meth:`BatchedThroughputEvaluator.uop_matrix` scatters one genome at a
+time).  The evolutionary hot loop therefore uses the *packed* path instead:
+a whole :class:`repro.pmevo.packed.PackedPopulation` is scattered into a
+preallocated dense workspace with one ``np.add.at`` per µop-slot axis — no
+per-genome Python loops — and then flows through the same fused kernel
+(mass product → in-place zeta transform → divide → max).  Workspaces
+(:class:`PackedWorkspace`) are allocated once and reused across generations,
+so steady-state evaluation does no large allocations at all.  When
+``numba`` is importable, :meth:`throughputs_from_packed` can JIT the fused
+kernel (``engine="numba"``/``"auto"``); the numpy path is always available
+and is the bit-exact reference.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,7 +45,96 @@ from repro.core.experiment import Experiment, ExperimentSet
 from repro.core.mapping import ThreeLevelMapping
 from repro.throughput.bottleneck import popcounts, zeta_transform
 
-__all__ = ["BatchedThroughputEvaluator"]
+if TYPE_CHECKING:  # import would cycle through repro.pmevo at runtime
+    from repro.pmevo.packed import PackedPopulation
+
+__all__ = ["BatchedThroughputEvaluator", "PackedWorkspace", "HAVE_NUMBA"]
+
+try:  # optional JIT acceleration; the numpy kernel is the reference
+    import numba as _numba
+except ImportError:  # pragma: no cover - exercised on numba-less installs
+    _numba = None
+
+#: Whether the optional numba-jitted fused kernel is available.
+HAVE_NUMBA = _numba is not None
+
+_NUMBA_KERNEL = None
+
+
+def _numba_kernel():
+    """Build (once) the jitted fused kernel: scatter → zeta → divide → max.
+
+    Matches the numpy kernel within floating-point reassociation (the numpy
+    path is the bit-exact reference; this one contracts the instruction axis
+    µop-by-µop instead of through BLAS).
+    """
+    global _NUMBA_KERNEL
+    if _NUMBA_KERNEL is None:
+
+        @_numba.njit(cache=True)
+        def kernel(counts, masks, mults, num_ports, popcount_table, out):
+            population, n_instr, n_slots = masks.shape
+            n_exp = counts.shape[0]
+            size = 1 << num_ports
+            mass = np.empty((n_exp, size), dtype=np.float64)
+            for p in range(population):
+                mass[:, :] = 0.0
+                for i in range(n_instr):
+                    for s in range(n_slots):
+                        mask = masks[p, i, s]
+                        if mask == 0:
+                            break
+                        mult = float(mults[p, i, s])
+                        for e in range(n_exp):
+                            mass[e, mask] += counts[e, i] * mult
+                for k in range(num_ports):
+                    bit = 1 << k
+                    for q in range(size):
+                        if q & bit:
+                            lo = q ^ bit
+                            for e in range(n_exp):
+                                mass[e, q] += mass[e, lo]
+                for e in range(n_exp):
+                    best = 0.0
+                    for q in range(1, size):
+                        value = mass[e, q] / popcount_table[q]
+                        if value > best:
+                            best = value
+                    out[p, e] = best
+
+        _NUMBA_KERNEL = kernel
+    return _NUMBA_KERNEL
+
+
+class PackedWorkspace:
+    """Preallocated buffers for packed-population evaluation.
+
+    Owns the dense scatter target (``[capacity, instruction, 2^|P|]``), the
+    mass workspace (``[capacity, experiment, 2^|P|]``), and the broadcast
+    index grids the per-slot ``np.add.at`` scatter uses.  One workspace is
+    allocated per evolver and reused for every generation; populations
+    larger than ``capacity`` are evaluated in capacity-sized chunks through
+    the same buffers.
+
+    ``masses`` is a ``[capacity, experiment, 2^|P|]`` *view* of a buffer
+    whose memory order is ``[capacity, 2^|P|, experiment]`` — the layout the
+    contraction in :func:`numpy.einsum` naturally produces, which keeps the
+    zeta transform's strided half-block adds on long contiguous runs
+    (measurably faster than the C-order view, with bit-identical results).
+    """
+
+    __slots__ = ("capacity", "uops", "masses", "genome_index", "instruction_index")
+
+    def __init__(self, capacity: int, num_instructions: int, num_experiments: int, num_ports: int):
+        if capacity < 1:
+            raise MappingError("workspace capacity must be positive")
+        size = 1 << num_ports
+        self.capacity = capacity
+        self.uops = np.zeros((capacity, num_instructions, size), dtype=np.float64)
+        masses_buffer = np.empty((capacity, size, num_experiments), dtype=np.float64)
+        self.masses = masses_buffer.transpose(0, 2, 1)
+        self.genome_index = np.arange(capacity, dtype=np.intp)[:, None]
+        self.instruction_index = np.arange(num_instructions, dtype=np.intp)[None, :]
 
 
 class BatchedThroughputEvaluator:
@@ -64,9 +169,13 @@ class BatchedThroughputEvaluator:
         if isinstance(experiments, ExperimentSet):
             exps: Sequence[Experiment] = experiments.experiments
             self.measured = np.array(experiments.throughputs, dtype=np.float64)
+            # Precomputed once: D_avg divides by the measured throughputs on
+            # every evaluation, which the hot loop turns into a multiply.
+            self._inv_measured = 1.0 / self.measured
         else:
             exps = list(experiments)
             self.measured = None
+            self._inv_measured = None
         if not exps:
             raise ExperimentError("need at least one experiment")
 
@@ -134,6 +243,106 @@ class BatchedThroughputEvaluator:
         np.divide(masses, self._popcounts, out=masses)
         return masses.max(axis=2)
 
+    # -- the packed population path (the EA hot loop) ------------------------
+
+    def packed_workspace(self, capacity: int) -> PackedWorkspace:
+        """Allocate reusable evaluation buffers for ``capacity`` genomes."""
+        return PackedWorkspace(
+            capacity, len(self.instruction_names), self.num_experiments, self.num_ports
+        )
+
+    def _check_packed(self, packed: "PackedPopulation") -> None:
+        if packed.names != self.instruction_names:
+            raise MappingError(
+                "packed population instructions do not match this evaluator's "
+                "instruction universe"
+            )
+        if len(packed) and int(packed.masks.max()) >= (1 << self.num_ports):
+            raise MappingError(
+                f"packed population holds masks invalid for {self.num_ports} ports"
+            )
+
+    def _scatter_packed(
+        self, workspace: PackedWorkspace, masks: np.ndarray, mults: np.ndarray
+    ) -> np.ndarray:
+        """Scatter a chunk of packed genomes into the dense µop workspace.
+
+        One vectorized scatter-add per µop-slot axis, no Python per-genome
+        loops.  Within one slot the targets ``(genome, instruction, mask)``
+        are all distinct — every ``(genome, instruction)`` pair appears
+        exactly once — so the buffered fancy-index ``+=`` is exact (equal to
+        ``np.add.at``, which exists for the duplicate-index case, at a
+        fraction of its cost).  Unused slots carry mask 0 *and* multiplicity
+        0, so they add zero to the empty-set column, which therefore stays
+        zero — exactly as in :meth:`uop_matrix`.
+        """
+        chunk = masks.shape[0]
+        target = workspace.uops[:chunk]
+        target[:] = 0.0
+        genome_index = workspace.genome_index[:chunk]
+        instruction_index = workspace.instruction_index
+        for slot in range(masks.shape[2]):
+            target[genome_index, instruction_index, masks[:, :, slot]] += mults[
+                :, :, slot
+            ]
+        return target
+
+    def throughputs_from_packed(
+        self,
+        packed: "PackedPopulation",
+        workspace: PackedWorkspace | None = None,
+        engine: str = "auto",
+    ) -> np.ndarray:
+        """Predicted throughputs for a whole packed population.
+
+        Returns a ``[population, experiment]`` array equal (bit for bit, for
+        the numpy engine) to stacking :meth:`uop_matrix` over the unpacked
+        genomes and calling :meth:`throughputs_from_matrices` — without the
+        per-genome Python scatter that makes the dict path the EA's wall.
+
+        ``workspace`` holds the preallocated buffers (created on the fly
+        when omitted); populations beyond its capacity are processed in
+        chunks.  ``engine`` selects the kernel: ``"numpy"`` (the bit-exact
+        reference), ``"numba"`` (requires the optional dependency; same
+        results within floating-point reassociation), or ``"auto"`` (numba
+        when available, else numpy).
+        """
+        self._check_packed(packed)
+        population = len(packed)
+        if engine == "auto":
+            engine = "numba" if HAVE_NUMBA else "numpy"
+        if engine == "numba":
+            if not HAVE_NUMBA:
+                raise MappingError("numba engine requested but numba is not installed")
+            out = np.empty((population, self.num_experiments), dtype=np.float64)
+            _numba_kernel()(
+                self._counts,
+                packed.masks,
+                packed.mults,
+                self.num_ports,
+                self._popcounts,
+                out,
+            )
+            return out
+        if engine != "numpy":
+            raise MappingError(f"unknown packed evaluation engine {engine!r}")
+
+        if workspace is None:
+            workspace = self.packed_workspace(min(population, 64))
+        out = np.empty((population, self.num_experiments), dtype=np.float64)
+        for start in range(0, population, workspace.capacity):
+            chunk = min(workspace.capacity, population - start)
+            stop = start + chunk
+            uops = self._scatter_packed(
+                workspace, packed.masks[start:stop], packed.mults[start:stop]
+            )
+            masses = workspace.masses[:chunk]
+            np.einsum("ei,piu->peu", self._counts, uops, out=masses, optimize=True)
+            zeta_transform(masses, self.num_ports)
+            np.divide(masses, self._popcounts, out=masses)
+            masses.max(axis=2, out=out[start:stop])
+        return out
+
     def throughputs(
         self, mapping: ThreeLevelMapping | Mapping[str, Mapping[int, int]]
     ) -> np.ndarray:
@@ -151,11 +360,11 @@ class BatchedThroughputEvaluator:
         if self.measured is None:
             raise ExperimentError("this evaluator has no measured throughputs")
         predicted = self.throughputs(mapping)
-        return float(np.mean(np.abs(predicted - self.measured) / self.measured))
+        return float(np.mean(np.abs(predicted - self.measured) * self._inv_measured))
 
     def davg_from_throughputs(self, predicted: np.ndarray) -> np.ndarray:
         """``D_avg`` for precomputed prediction rows (vectorized over a
         leading population axis if present)."""
         if self.measured is None:
             raise ExperimentError("this evaluator has no measured throughputs")
-        return np.mean(np.abs(predicted - self.measured) / self.measured, axis=-1)
+        return np.mean(np.abs(predicted - self.measured) * self._inv_measured, axis=-1)

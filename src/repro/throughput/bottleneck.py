@@ -30,6 +30,7 @@ based on problem size.
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Mapping
 
 import numpy as np
@@ -47,10 +48,9 @@ __all__ = [
     "popcounts",
 ]
 
-# Caches keyed by the number of ports; these arrays are tiny for realistic
+# Cache keyed by the number of ports; these arrays are tiny for realistic
 # port counts and shared by every dense evaluation.
 _POPCOUNT_CACHE: dict[int, np.ndarray] = {}
-_ZETA_INDEX_CACHE: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
 
 
 def _check(masses: Mapping[int, float], num_ports: int) -> None:
@@ -79,19 +79,22 @@ def popcounts(num_ports: int) -> np.ndarray:
     return table
 
 
-def _zeta_indices(num_ports: int) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Per-bit (target, source) index pairs for the in-place zeta transform."""
-    pairs = _ZETA_INDEX_CACHE.get(num_ports)
-    if pairs is None:
-        size = 1 << num_ports
-        masks = np.arange(size, dtype=np.intp)
-        pairs = []
-        for k in range(num_ports):
-            bit = 1 << k
-            hi = masks[(masks & bit) != 0]
-            pairs.append((hi, hi ^ bit))
-        _ZETA_INDEX_CACHE[num_ports] = pairs
-    return pairs
+@functools.lru_cache(maxsize=None)
+def _zeta_indices(num_ports: int) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Per-bit (target, source) index pairs for the in-place zeta transform.
+
+    Cached per ``num_ports`` so the index arrays are built once per port
+    count, not on every :func:`zeta_transform` call in the evaluation hot
+    loop.
+    """
+    size = 1 << num_ports
+    masks = np.arange(size, dtype=np.intp)
+    pairs = []
+    for k in range(num_ports):
+        bit = 1 << k
+        hi = masks[(masks & bit) != 0]
+        pairs.append((hi, hi ^ bit))
+    return tuple(pairs)
 
 
 def zeta_transform(values: np.ndarray, num_ports: int) -> np.ndarray:
@@ -99,13 +102,31 @@ def zeta_transform(values: np.ndarray, num_ports: int) -> np.ndarray:
 
     ``values`` must have last-axis length ``2^num_ports``; it is modified in
     place and also returned.
+
+    For bit ``k`` the update adds every mask without the bit into its
+    partner with the bit.  Those partners form contiguous blocks along the
+    last axis, so the preferred implementation views the axis as
+    ``[..., block, 2, 2^k]`` and adds the low half-block into the high one —
+    pure strided slicing, no gather/scatter index traffic.  The view is the
+    same additions in the same per-bit order as the fancy-indexed form, so
+    results are bit-for-bit identical; layouts where the reshape cannot be a
+    view fall back to the cached index pairs.
     """
     if values.shape[-1] != (1 << num_ports):
         raise MappingError(
             f"last axis must have length {1 << num_ports}, got {values.shape[-1]}"
         )
-    for hi, lo in _zeta_indices(num_ports):
-        values[..., hi] += values[..., lo]
+    head = values.shape[:-1]
+    for bit, (hi, lo) in enumerate(_zeta_indices(num_ports)):
+        paired = values.view()
+        try:
+            # In-place shape assignment never copies: it raises instead
+            # when this layout cannot view the last axis as blocks.
+            paired.shape = head + (-1, 2, 1 << bit)
+        except AttributeError:
+            values[..., hi] += values[..., lo]
+            continue
+        paired[..., 1, :] += paired[..., 0, :]
     return values
 
 

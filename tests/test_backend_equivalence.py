@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.core import Experiment, PortSpace, ThreeLevelMapping
-from repro.pmevo import random_genome
+from repro.pmevo import PackedPopulation, random_genome
 from repro.throughput import BatchedThroughputEvaluator
 from repro.throughput.bottleneck import (
     bottleneck_throughput,
@@ -77,6 +77,35 @@ def test_lp_convenience_wrapper_matches_batched(paper_three_level, paper_experim
     from_lp = lp_throughput(paper_three_level, paper_experiment)
     assert from_batched == pytest.approx(from_lp, abs=TOLERANCE)
     assert from_batched == pytest.approx(2.5, abs=TOLERANCE)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_packed_kernel_agrees_with_all_backends(seed):
+    """The population-scale packed kernel is another backend of the same
+    model: for a packed population its per-genome throughputs must agree
+    with the per-genome dict path (bit-identically, by construction) and
+    with the reference bottleneck algorithm within 1e-9."""
+    num_ports, names, _, experiments = _random_instance(seed)
+    rng = np.random.default_rng(seed + 1000)
+    singles = {name: float(rng.uniform(0.5, 3.0)) for name in names}
+    genomes = [random_genome(rng, names, num_ports, singles) for _ in range(7)]
+    ports = PortSpace.numbered(num_ports)
+    batched = BatchedThroughputEvaluator(experiments, names, num_ports)
+
+    packed = PackedPopulation.from_genomes(genomes, names)
+    from_packed = batched.throughputs_from_packed(packed, engine="numpy")
+    legacy = np.stack([batched.throughputs(genome) for genome in genomes])
+    assert np.array_equal(from_packed, legacy)
+
+    for p, genome in enumerate(genomes):
+        mapping = ThreeLevelMapping(ports, genome)
+        for e, experiment in enumerate(experiments):
+            masses = mapping.uop_masses(experiment)
+            reference = bottleneck_throughput_reference(masses, num_ports)
+            context = f"seed={seed} genome={p} experiment={dict(experiment)}"
+            assert from_packed[p, e] == pytest.approx(
+                reference, abs=TOLERANCE
+            ), context
 
 
 @pytest.mark.parametrize("seed", [3, 11])
