@@ -78,8 +78,11 @@ def test_transport_overhead_record():
 
     socket_transport = SocketTransport(min_workers=2, heartbeat_timeout=30.0)
     host, port = socket_transport.listen()
+    reconnect = dict(max_reconnect_attempts=2, reconnect_window=2.0, jitter_seed=1)
     workers = [
-        threading.Thread(target=run_worker, args=(host, port), daemon=True)
+        threading.Thread(
+            target=run_worker, args=(host, port), kwargs=reconnect, daemon=True
+        )
         for _ in range(2)
     ]
     for worker in workers:

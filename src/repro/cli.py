@@ -33,9 +33,34 @@ from repro.pmevo import (
     infer_port_mapping,
     random_experiments,
 )
+from repro.pmevo.transport import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_START_TIMEOUT,
+)
 from repro.throughput import MappingPredictor
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
         "epoch (only with --transport socket)",
     )
     infer.add_argument(
+        "--heartbeat-timeout",
+        type=_positive_float,
+        default=DEFAULT_HEARTBEAT_TIMEOUT,
+        help="seconds of silence before the coordinator declares a worker "
+        f"dead and requeues its leases (default {DEFAULT_HEARTBEAT_TIMEOUT:g}; "
+        "must exceed the worker heartbeat interval; only with "
+        "--transport socket)",
+    )
+    infer.add_argument(
+        "--start-timeout",
+        type=_positive_float,
+        default=DEFAULT_START_TIMEOUT,
+        help="seconds the coordinator waits for --min-workers before giving "
+        f"up (default {DEFAULT_START_TIMEOUT:g}; only with --transport socket)",
+    )
+    infer.add_argument(
         "--checkpoint",
         type=Path,
         default=None,
@@ -147,9 +188,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument(
         "--heartbeat-interval",
-        type=float,
-        default=2.0,
-        help="seconds between heartbeat frames (default 2)",
+        type=_positive_float,
+        default=DEFAULT_HEARTBEAT_INTERVAL,
+        help=f"seconds between heartbeat frames (default {DEFAULT_HEARTBEAT_INTERVAL:g})",
+    )
+    worker.add_argument(
+        "--max-reconnect-attempts",
+        type=_nonnegative_int,
+        default=10,
+        help="reconnect attempts (capped exponential backoff) after the "
+        "coordinator connection drops before concluding it is gone "
+        "(default 10; 0 disables reconnecting)",
+    )
+    worker.add_argument(
+        "--reconnect-window",
+        type=_positive_float,
+        default=60.0,
+        help="seconds after a connection drop during which reconnects are "
+        "attempted; past this the coordinator is treated as gone and the "
+        "worker exits cleanly (default 60)",
     )
 
     predict = sub.add_parser("predict", help="predict throughput of an experiment")
@@ -209,7 +266,13 @@ def _make_transport(args: argparse.Namespace):
     if args.transport == "pool":
         return PoolTransport(min(args.workers, args.islands))
     host, port = parse_address(args.bind)
-    transport = SocketTransport(host, port, min_workers=args.min_workers)
+    transport = SocketTransport(
+        host,
+        port,
+        min_workers=args.min_workers,
+        heartbeat_timeout=args.heartbeat_timeout,
+        start_timeout=args.start_timeout,
+    )
     # Print the actual (possibly ephemeral) address before measurement
     # starts, so workers can be pointed at it right away.
     address = transport.listen()
@@ -266,6 +329,13 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         resume=resume,
     )
     args.output.write_text(result.mapping.to_json())
+    cluster = getattr(result.evolution, "transport_stats", None)
+    if cluster:
+        print(
+            "cluster: {epochs} epochs, {leases} leases, {steals} steals, "
+            "{requeued} requeued, {workers_dropped} workers dropped, "
+            "{late_joiners} late joiners".format(**cluster)
+        )
     stats = result.table2_row()
     print(format_table(["statistic", "value"], list(stats.items())))
     print(f"D_avg on training experiments: {result.evolution.davg:.4f}")
@@ -279,7 +349,13 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     host, port = parse_address(args.connect)
     print(f"worker connecting to {host}:{port}", flush=True)
-    return run_worker(host, port, heartbeat_interval=args.heartbeat_interval)
+    return run_worker(
+        host,
+        port,
+        heartbeat_interval=args.heartbeat_interval,
+        max_reconnect_attempts=args.max_reconnect_attempts,
+        reconnect_window=args.reconnect_window,
+    )
 
 
 def _parse_experiment(tokens: list[str]) -> Experiment:
@@ -358,9 +434,21 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Cross-field checks that argparse types cannot express alone."""
+    if args.command == "infer" and args.heartbeat_timeout <= DEFAULT_HEARTBEAT_INTERVAL:
+        parser.error(
+            f"--heartbeat-timeout {args.heartbeat_timeout:g} must exceed the "
+            f"worker heartbeat interval (default {DEFAULT_HEARTBEAT_INTERVAL:g}s); "
+            "a timeout shorter than one heartbeat period drops healthy workers"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate(parser, args)
     handlers = {
         "infer": _cmd_infer,
         "worker": _cmd_worker,

@@ -5,6 +5,7 @@ from repro.core.errors import (
     ExperimentError,
     ISAError,
     InferenceError,
+    InjectedFault,
     MappingError,
     MeasurementError,
     ReproError,
@@ -26,6 +27,7 @@ __all__ = [
     "InferenceError",
     "TransportError",
     "CheckpointError",
+    "InjectedFault",
     "Experiment",
     "MeasuredExperiment",
     "ExperimentSet",

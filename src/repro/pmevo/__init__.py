@@ -16,8 +16,10 @@ from repro.pmevo.checkpoint import (
     CheckpointSnapshot,
     Checkpointer,
     load_checkpoint,
+    previous_path,
     write_checkpoint,
 )
+from repro.pmevo.faults import FaultySocket, FaultyTransport
 from repro.pmevo.islands import (
     IslandEvolver,
     IslandResult,
@@ -30,6 +32,7 @@ from repro.pmevo.transport import (
     PoolTransport,
     SerialTransport,
     SocketTransport,
+    backoff_delays,
     run_worker,
 )
 from repro.pmevo.expgen import (
@@ -74,10 +77,14 @@ __all__ = [
     "PoolTransport",
     "SocketTransport",
     "run_worker",
+    "backoff_delays",
     "Checkpointer",
     "CheckpointSnapshot",
     "load_checkpoint",
     "write_checkpoint",
+    "previous_path",
+    "FaultySocket",
+    "FaultyTransport",
     "ObjectiveValues",
     "normalize_objective",
     "scalarized_fitness",

@@ -19,10 +19,18 @@ Guarantees:
   in the target directory and ``os.replace``\\ s it over the destination, so
   a crash mid-write leaves the previous snapshot intact — readers never see
   a partial file at the checkpoint path.
+* **One-deep retention.**  Before the new snapshot lands, the previous good
+  one is rotated to ``<path>.prev`` (another atomic ``os.replace``), so even
+  a crash *between* the rotation and the next write — or a snapshot that was
+  damaged after it was written — leaves one loadable checkpoint on disk.
+  :func:`load_checkpoint` falls back to ``.prev`` (with a warning) when the
+  primary raises :class:`~repro.core.errors.CheckpointError`; resuming from
+  an older barrier merely replays more epochs, bit-identically.
 * **Loud failure.**  Truncated, non-JSON, or wrong-format files — and
   resuming against a different config or instruction universe — raise
   :class:`repro.core.errors.CheckpointError` with a message naming the
-  problem.
+  problem.  The ``.prev`` fallback only softens *unreadable primary* into a
+  warning; when both copies are unusable the primary's error propagates.
 
 Island populations inside a snapshot use the packed base64 npz encoding of
 :class:`~repro.pmevo.packed.PackedPopulation`, which keeps checkpoints of
@@ -35,6 +43,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -52,6 +61,7 @@ __all__ = [
     "Checkpointer",
     "write_checkpoint",
     "load_checkpoint",
+    "previous_path",
 ]
 
 #: Format tag of the snapshot document; bumped on incompatible changes.
@@ -104,8 +114,23 @@ class CheckpointSnapshot:
             raise CheckpointError(f"malformed checkpoint: {exc}") from exc
 
 
-def write_checkpoint(path: Path | str, snapshot: CheckpointSnapshot) -> None:
-    """Atomically write ``snapshot`` to ``path`` (temp file + ``os.replace``)."""
+def previous_path(path: Path | str) -> Path:
+    """Where :func:`write_checkpoint` rotates the previous good snapshot."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
+
+
+def write_checkpoint(
+    path: Path | str, snapshot: CheckpointSnapshot, keep_previous: bool = True
+) -> None:
+    """Atomically write ``snapshot`` to ``path`` (temp file + ``os.replace``).
+
+    With ``keep_previous`` (the default) an existing snapshot at ``path`` is
+    first rotated to :func:`previous_path` — also via ``os.replace`` — so
+    every instant of the write sequence leaves at least one loadable
+    snapshot on disk: before the rotation it is ``path``, between rotation
+    and replace it is ``path.prev``, after the replace both exist.
+    """
     path = Path(path)
     payload = json.dumps(snapshot.to_jsonable())
     fd, tmp_name = tempfile.mkstemp(
@@ -116,6 +141,8 @@ def write_checkpoint(path: Path | str, snapshot: CheckpointSnapshot) -> None:
             handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
+        if keep_previous and path.exists():
+            os.replace(path, previous_path(path))
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -125,9 +152,7 @@ def write_checkpoint(path: Path | str, snapshot: CheckpointSnapshot) -> None:
         raise
 
 
-def load_checkpoint(path: Path | str) -> CheckpointSnapshot:
-    """Load a snapshot, raising :class:`CheckpointError` on any defect."""
-    path = Path(path)
+def _load_one(path: Path) -> CheckpointSnapshot:
     try:
         text = path.read_text(encoding="utf-8")
     except OSError as exc:
@@ -141,12 +166,43 @@ def load_checkpoint(path: Path | str) -> CheckpointSnapshot:
     return CheckpointSnapshot.from_jsonable(data)
 
 
+def load_checkpoint(
+    path: Path | str, allow_previous: bool = True
+) -> CheckpointSnapshot:
+    """Load a snapshot, raising :class:`CheckpointError` on any defect.
+
+    With ``allow_previous`` (the default), an unreadable/corrupt/missing
+    primary falls back to the rotated ``.prev`` snapshot with a warning —
+    resuming one barrier earlier replays the missing epochs bit-identically.
+    When the fallback is also unusable, the *primary's* error propagates.
+    """
+    path = Path(path)
+    try:
+        return _load_one(path)
+    except CheckpointError as exc:
+        prev = previous_path(path)
+        if not allow_previous or not prev.exists():
+            raise
+        try:
+            snapshot = _load_one(prev)
+        except CheckpointError:
+            raise exc from None
+        warnings.warn(
+            f"checkpoint {path} is unusable ({exc}); "
+            f"falling back to the previous snapshot {prev}",
+            stacklevel=2,
+        )
+        return snapshot
+
+
 class Checkpointer:
     """Writes a snapshot every ``interval`` epochs (at the epoch barrier).
 
     Passed to :meth:`repro.pmevo.islands.IslandEvolver.run`; the evolver
     calls :meth:`after_epoch` once per completed epoch.  The file at
-    ``path`` always holds the most recent snapshot.
+    ``path`` always holds the most recent snapshot and ``<path>.prev`` the
+    one before it, so a coordinator killed at *any* instant — including
+    mid-rotation — leaves a loadable snapshot for ``infer --resume``.
     """
 
     def __init__(self, path: Path | str, interval: int = 1):

@@ -37,7 +37,13 @@ Design goals, in order:
    pass a :class:`~repro.pmevo.checkpoint.Checkpointer` to :meth:`IslandEvolver.run`
    to write atomic snapshots, and a loaded
    :class:`~repro.pmevo.checkpoint.CheckpointSnapshot` as ``resume`` to
-   continue a killed run bit-identically to an uninterrupted one.
+   continue a killed run bit-identically to an uninterrupted one.  Under a
+   :class:`~repro.pmevo.transport.SocketTransport` this doubles as
+   *coordinator crash recovery*: the checkpointer journals every completed
+   epoch, live workers re-attach to a restarted coordinator on the same
+   bind address, and purity of ``advance`` means the replayed epochs land
+   on the very same bytes (``tests/test_chaos.py`` SIGKILLs each process
+   class to prove it).
 
 The scalarized fitness of Section 4.4 normalizes objectives *per
 population*: immigrants are re-ranked under the destination island's current
@@ -110,6 +116,13 @@ class IslandResult(EvolutionResult):
     island_histories: list[list[GenerationStats]] = field(default_factory=list)
     island_davgs: list[float] = field(default_factory=list)
     islands_converged: list[bool] = field(default_factory=list)
+    #: Scheduling/recovery telemetry from the transport (e.g.
+    #: :attr:`~repro.pmevo.transport.SocketTransport.stats`): leases,
+    #: steals, stale results, requeues, worker drops.  Deliberately outside
+    #: the serialized form and excluded from comparisons — it records *how*
+    #: the run was scheduled, which the bit-identity guarantee says must
+    #: never influence *what* was computed.
+    transport_stats: dict | None = field(default=None, compare=False)
 
     def to_jsonable(self) -> dict:
         """JSON-safe dict form of the complete result."""
@@ -424,5 +437,6 @@ class IslandEvolver:
             island_histories=[s.history for s in states],
             island_davgs=[float(s.davgs[s.best_index()]) for s in states],
             islands_converged=[s.converged for s in states],
+            transport_stats=getattr(transport, "stats", None),
         )
         return result

@@ -49,34 +49,65 @@ Failure semantics
 propagate).  :class:`SocketTransport` degrades instead: workers announce
 themselves with a hello/version handshake, send heartbeats while computing,
 and are declared dead after ``heartbeat_timeout`` seconds of silence (or any
-socket/framing error), at which point their leased epochs are reassigned to
-live workers.  If every worker dies the coordinator finishes the epoch
-in-process — a run that started always completes, and because of the purity
-argument above the recovery path cannot change the result.  Startup is the
-exception: fewer than ``min_workers`` connections within ``start_timeout``
-raises :class:`repro.core.errors.TransportError`.
+socket/framing error), at which point the islands they were computing are
+requeued or re-leased to live workers.  If every worker dies the coordinator
+finishes the epoch in-process — a run that started always completes, and
+because of the purity argument above the recovery path cannot change the
+result.  Startup is the exception: fewer than ``min_workers`` connections
+within ``start_timeout`` raises :class:`repro.core.errors.TransportError`.
+
+Leases and work stealing
+------------------------
+Within an epoch the coordinator leases islands to workers in *batches*
+(the pending islands split evenly over the idle workers, one ``job`` frame
+per batch) and workers stream one ``result`` frame back per island, so the
+coordinator observes per-island completions, not per-batch ones.  Once the
+pending queue drains, idle workers *steal*: the slowest outstanding island
+(fewest live leases, then oldest lease) is re-leased under a fresh lease
+generation (``job_id``), first result wins, and late duplicates are
+discarded by generation — harmless rather than wrong, because island
+advancement is a pure function of its state.  Stealing keeps heterogeneous
+or flaky workers from gating the epoch barrier at its tail.
+
+Coordinator crash recovery
+--------------------------
+The coordinator itself may be killed: runs driven with a
+:class:`~repro.pmevo.checkpoint.Checkpointer` journal every completed epoch
+at the barrier (with one-deep ``.prev`` retention), and a restarted
+coordinator — ``infer --resume`` pointed at the same ``--bind`` address —
+rehydrates from the latest snapshot and simply replays any epochs lost
+after it.  Workers that lose the connection mid-service do not exit: they
+re-attach with capped exponential backoff plus deterministic jitter
+(:func:`backoff_delays`), re-perform the hello/setup handshake, and discard
+any in-flight lease (their old lease generation is unknown to the new
+coordinator incarnation, so a stray result could at worst be ignored).  A
+worker exits with code 0 only once the coordinator is confirmed gone —
+the full reconnect window elapsed without a successful attach.
 
 Wire format (socket transport)
 ------------------------------
 Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
 followed by that many bytes of UTF-8 JSON.  Messages carry a ``"type"``
 key: ``hello`` (worker → coordinator, with ``"protocol"``), ``setup``
-(coordinator → worker, the serialized problem), ``job`` / ``result``
-(a leased epoch and its advanced state), ``heartbeat`` (worker →
-coordinator, periodic), and ``shutdown`` (coordinator → worker).
+(coordinator → worker, the serialized problem), ``job`` (coordinator →
+worker: a lease generation ``job_id`` plus a batch of ``[island, state]``
+pairs), ``result`` (worker → coordinator, one per completed island, echoing
+``job_id``), ``heartbeat`` (worker → coordinator, periodic), and
+``shutdown`` (coordinator → worker).
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import select
 import socket
 import struct
 import threading
 import time
 from collections import deque
-from collections.abc import Mapping
+from collections.abc import Callable, Iterator, Mapping
 from typing import Protocol, runtime_checkable
 
 from repro.core.errors import CheckpointError, TransportError
@@ -95,14 +126,34 @@ __all__ = [
     "PoolTransport",
     "SocketTransport",
     "run_worker",
+    "backoff_delays",
     "parse_address",
     "problem_to_jsonable",
     "evolver_from_jsonable",
     "PROTOCOL_VERSION",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DEFAULT_START_TIMEOUT",
 ]
 
 #: Version tag of the hello handshake; bumped on incompatible frame changes.
-PROTOCOL_VERSION = 1
+#: v2: ``job`` frames lease a batch of ``[island, state]`` pairs and
+#: ``result`` frames answer one island at a time (work-stealing leases).
+PROTOCOL_VERSION = 2
+
+#: Default seconds between worker heartbeats (CLI ``worker --heartbeat-interval``).
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+#: Default per-worker silence budget before a lease is re-leased
+#: (CLI ``infer --heartbeat-timeout``).
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+#: Default seconds :meth:`SocketTransport.start` waits for ``min_workers``
+#: (CLI ``infer --start-timeout``).
+DEFAULT_START_TIMEOUT = 120.0
+
+#: Ceiling of the capped exponential reconnect backoff.
+BACKOFF_CAP = 8.0
 
 #: Upper bound on a single frame (guards against garbage length prefixes).
 _MAX_FRAME_BYTES = 1 << 29
@@ -312,22 +363,34 @@ class PoolTransport:
 # -- the socket transport -----------------------------------------------------
 
 
-class _RemoteWorker:
-    """Coordinator-side bookkeeping for one connected worker."""
+class _Lease:
+    """One leased island: which generation (``job_id``), of which epoch."""
 
-    __slots__ = ("sock", "address", "last_seen", "island", "job_id", "state_payload")
+    __slots__ = ("job_id", "island", "epoch", "started")
+
+    def __init__(self, job_id: int, island: int, epoch: int, started: float):
+        self.job_id = job_id
+        self.island = island
+        self.epoch = epoch
+        self.started = started
+
+
+class _RemoteWorker:
+    """Coordinator-side bookkeeping for one connected worker.
+
+    ``leases`` holds every island batch the worker has been sent and not yet
+    answered.  Entries from a previous epoch, or for islands another worker
+    already finished, are *stale*: the worker is still (or was) computing
+    them, but their results will be discarded on arrival.
+    """
+
+    __slots__ = ("sock", "address", "last_seen", "leases")
 
     def __init__(self, sock: socket.socket, address):
         self.sock = sock
         self.address = address
         self.last_seen = time.monotonic()
-        self.island: int | None = None
-        self.job_id: int | None = None
-        self.state_payload: dict | None = None
-
-    @property
-    def busy(self) -> bool:
-        return self.job_id is not None
+        self.leases: list[_Lease] = []
 
 
 class SocketTransport:
@@ -335,13 +398,17 @@ class SocketTransport:
 
     Workers connect (possibly from other machines), complete a
     hello/version handshake, and receive the serialized inference problem
-    once.  Each epoch the coordinator leases one ``(island, state)`` job per
-    idle worker, collects advanced states, and re-leases the jobs of workers
-    that died (socket error, malformed frame, or ``heartbeat_timeout``
-    seconds without a frame).  Late joiners are accepted mid-run and start
-    receiving leases at the next assignment opportunity.  If the last worker
-    dies, the remaining jobs of the epoch run in the coordinator process —
-    see the module docstring for why no recovery path can change results.
+    once.  Each epoch the coordinator splits the pending islands into
+    per-worker lease batches, streams per-island results back, requeues the
+    islands of workers that died (socket error, malformed frame, or
+    ``heartbeat_timeout`` seconds without a frame), and — once the pending
+    queue is empty — re-leases the slowest outstanding islands to idle
+    workers (*work stealing*; first result wins, late duplicates are
+    discarded by lease generation).  Late joiners are accepted mid-run and
+    start receiving leases at the next assignment opportunity.  If the last
+    worker dies, the remaining islands of the epoch run in the coordinator
+    process — see the module docstring for why no recovery path can change
+    results.
 
     Parameters
     ----------
@@ -351,9 +418,32 @@ class SocketTransport:
     min_workers:
         How many workers :meth:`start` waits for before the first epoch.
     heartbeat_timeout:
-        Seconds of per-worker silence before its lease is reassigned.
+        Seconds of per-worker silence before its leases are given up on.
     start_timeout:
         Seconds :meth:`start` waits for ``min_workers`` connections.
+    max_lease_batch:
+        Cap on islands per ``job`` frame; 0 (default) splits the pending
+        queue evenly over the idle workers.
+    work_stealing:
+        Re-lease outstanding islands to idle workers once the pending queue
+        drains (default on; affects wall-clock only, never results).
+    steal_delay:
+        Seconds an island's oldest lease must be outstanding before it may
+        be stolen (default 0.25).  The grace period keeps a homogeneous
+        cluster — where workers finish within milliseconds of each other —
+        from burning CPU on duplicate leases that the original worker wins
+        anyway; a genuinely slow or dead worker blows past it immediately.
+    max_island_leases:
+        Live leases an island may accumulate through stealing (default 2 —
+        the original lease plus one steal — bounding redundant compute).
+    close_grace:
+        Seconds :meth:`close` spends draining workers that are still
+        streaming a result for a lease that lost a race, so they read the
+        shutdown frame instead of a connection reset.
+
+    ``stats`` counts scheduling/recovery events (leases, steals, stale
+    results, requeues, drops, local fallbacks, late joiners) for operator
+    visibility; it is telemetry only and never feeds back into scheduling.
     """
 
     def __init__(
@@ -361,21 +451,56 @@ class SocketTransport:
         host: str = "127.0.0.1",
         port: int = 0,
         min_workers: int = 1,
-        heartbeat_timeout: float = 30.0,
-        start_timeout: float = 120.0,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        start_timeout: float = DEFAULT_START_TIMEOUT,
+        max_lease_batch: int = 0,
+        work_stealing: bool = True,
+        steal_delay: float = 0.25,
+        max_island_leases: int = 2,
+        close_grace: float = 5.0,
     ):
         if min_workers < 1:
             raise TransportError("socket transport needs at least one worker")
+        if heartbeat_timeout <= 0 or start_timeout <= 0:
+            raise TransportError("timeouts must be positive")
+        if max_lease_batch < 0:
+            raise TransportError("max_lease_batch must be >= 0 (0 = even split)")
+        if max_island_leases < 1:
+            raise TransportError("max_island_leases must be at least 1")
+        if steal_delay < 0:
+            raise TransportError("steal_delay must be >= 0")
         self._bind = (host, port)
         self.min_workers = min_workers
         self.heartbeat_timeout = heartbeat_timeout
         self.start_timeout = start_timeout
+        self.max_lease_batch = max_lease_batch
+        self.work_stealing = work_stealing
+        self.steal_delay = steal_delay
+        self.max_island_leases = max_island_leases
+        self.close_grace = close_grace
         self.address: tuple[str, int] | None = None
+        self.stats: dict[str, int] = {
+            "epochs": 0,
+            "leases": 0,
+            "batches": 0,
+            "steals": 0,
+            "stale_results": 0,
+            "requeued": 0,
+            "local_islands": 0,
+            "workers_dropped": 0,
+            "late_joiners": 0,
+        }
         self._listener: socket.socket | None = None
         self._workers: dict[socket.socket, _RemoteWorker] = {}
         self._evolver: PortMappingEvolver | None = None
         self._setup_payload: dict | None = None
         self._next_job_id = 0
+        self._started = False
+        # Per-advance() context (None between epochs).
+        self._epoch = 0
+        self._pending: deque[int] | None = None
+        self._payloads: dict[int, dict] | None = None
+        self._results: dict[int, EvolutionState] | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -408,13 +533,45 @@ class SocketTransport:
             readable, _, _ = select.select([self._listener], [], [], min(remaining, 0.5))
             if readable:
                 self._accept_one()
+        self._started = True
 
     def close(self) -> None:
+        deadline = time.monotonic() + self.close_grace
         for worker in list(self._workers.values()):
             try:
                 send_frame(worker.sock, {"type": "shutdown"})
             except OSError:
-                pass
+                self._workers.pop(worker.sock, None)
+                worker.sock.close()
+        # Workers still streaming a result for a lease that lost a race must
+        # be drained (bounded by ``close_grace``) before their sockets go
+        # away: closing underneath the in-flight send would turn the
+        # buffered shutdown frame into a connection reset and push the
+        # worker into its reconnect loop for nothing.
+        while self._workers and time.monotonic() < deadline:
+            if not any(w.leases for w in self._workers.values()):
+                break
+            readable, _, _ = select.select(list(self._workers), [], [], 0.2)
+            for sock in readable:
+                worker = self._workers.get(sock)
+                if worker is None:
+                    continue
+                try:
+                    frame = recv_frame(sock)
+                except (OSError, TransportError):
+                    frame = None
+                if frame is None:
+                    self._workers.pop(sock, None)
+                    sock.close()
+                    continue
+                if frame.get("type") == "result":
+                    worker.leases = [
+                        lease
+                        for lease in worker.leases
+                        if (lease.job_id, lease.island)
+                        != (frame.get("job_id"), frame.get("island"))
+                    ]
+        for worker in list(self._workers.values()):
             worker.sock.close()
         self._workers.clear()
         if self._listener is not None:
@@ -449,32 +606,159 @@ class SocketTransport:
             return
         sock.settimeout(self.heartbeat_timeout)
         self._workers[sock] = _RemoteWorker(sock, address)
+        if self._started:
+            self.stats["late_joiners"] += 1
 
-    def _drop(self, worker: _RemoteWorker, pending: deque) -> None:
-        """Forget a dead worker, requeueing its leased epoch if any."""
+    # A worker's leases are live when they belong to the current epoch and
+    # their island has not been finished by anyone; everything else is stale
+    # bookkeeping for results we will discard on arrival.
+    def _live_leases(self, worker: _RemoteWorker) -> list[_Lease]:
+        assert self._results is not None
+        return [
+            lease
+            for lease in worker.leases
+            if lease.epoch == self._epoch and lease.island not in self._results
+        ]
+
+    def _idle_workers(self) -> list[_RemoteWorker]:
+        return [w for w in self._workers.values() if not self._live_leases(w)]
+
+    def _drop(self, worker: _RemoteWorker) -> None:
+        """Forget a dead worker, requeueing islands only it was computing."""
         self._workers.pop(worker.sock, None)
         worker.sock.close()
-        if worker.island is not None and worker.state_payload is not None:
-            pending.appendleft((worker.island, worker.state_payload))
+        self.stats["workers_dropped"] += 1
+        if self._pending is None:
+            worker.leases.clear()
+            return
+        # Newest-first so appendleft restores the original queue order.
+        for lease in reversed(worker.leases):
+            if lease.epoch != self._epoch:
+                continue
+            island = lease.island
+            if island in self._results or island in self._pending:
+                continue
+            if any(
+                l.island == island and l.epoch == self._epoch
+                for w in self._workers.values()
+                for l in w.leases
+            ):
+                continue  # a live steal still covers this island
+            self._pending.appendleft(island)
+            self.stats["requeued"] += 1
+        worker.leases.clear()
 
-    def _assign(self, worker: _RemoteWorker, island: int, state_payload: dict, generations: int) -> None:
-        # Record the lease BEFORE sending: if sendall raises (worker died
-        # between epochs), _drop() finds the lease on the worker and
-        # requeues it — otherwise the epoch would be lost and advance()
-        # could never complete.
+    def _assign(
+        self, worker: _RemoteWorker, islands: list[int], generations: int
+    ) -> bool:
+        """Lease a batch of islands to ``worker``; False if it died sending.
+
+        The leases are recorded BEFORE sending: if sendall raises (worker
+        died between epochs), :meth:`_drop` finds them on the worker and
+        requeues the islands — otherwise they would be lost and
+        :meth:`advance` could never complete.
+        """
+        assert self._payloads is not None
         self._next_job_id += 1
-        worker.island = island
-        worker.job_id = self._next_job_id
-        worker.state_payload = state_payload
-        send_frame(
-            worker.sock,
-            {
-                "type": "job",
-                "job_id": worker.job_id,
-                "generations": generations,
-                "state": state_payload,
-            },
+        job_id = self._next_job_id
+        now = time.monotonic()
+        worker.leases.extend(
+            _Lease(job_id, island, self._epoch, now) for island in islands
         )
+        self.stats["leases"] += len(islands)
+        self.stats["batches"] += 1
+        try:
+            send_frame(
+                worker.sock,
+                {
+                    "type": "job",
+                    "job_id": job_id,
+                    "generations": generations,
+                    "islands": [[island, self._payloads[island]] for island in islands],
+                },
+            )
+        except OSError:
+            self._drop(worker)
+            return False
+        return True
+
+    def _lease_pending(self, generations: int) -> None:
+        """Split the pending queue into batches over the idle workers."""
+        assert self._pending is not None
+        while self._pending and self._workers:
+            idle = self._idle_workers()
+            if not idle:
+                return
+            share = -(-len(self._pending) // len(idle))  # ceil division
+            if self.max_lease_batch:
+                share = min(share, self.max_lease_batch)
+            for worker in idle:
+                if not self._pending:
+                    return
+                batch = [
+                    self._pending.popleft()
+                    for _ in range(min(share, len(self._pending)))
+                ]
+                if not self._assign(worker, batch, generations):
+                    # The worker died sending: its islands are requeued and
+                    # the idle snapshot is stale — recompute the split.
+                    break
+
+    def _steal(self, generations: int) -> None:
+        """Re-lease the slowest outstanding islands to idle workers."""
+        assert self._results is not None
+        idle = self._idle_workers()
+        if not idle:
+            return
+        live: dict[int, tuple[int, float]] = {}  # island -> (leases, oldest)
+        for worker in self._workers.values():
+            for lease in self._live_leases(worker):
+                count, oldest = live.get(lease.island, (0, lease.started))
+                live[lease.island] = (count + 1, min(oldest, lease.started))
+        now = time.monotonic()
+        for worker in idle:
+            candidates = [
+                (count, oldest, island)
+                for island, (count, oldest) in live.items()
+                if count < self.max_island_leases
+                and now - oldest >= self.steal_delay
+            ]
+            if not candidates:
+                return
+            count, oldest, island = min(candidates)
+            if self._assign(worker, [island], generations):
+                self.stats["steals"] += 1
+                live[island] = (count + 1, oldest)
+
+    def _take_result(self, worker: _RemoteWorker, frame: dict) -> None:
+        """Accept or discard one ``result`` frame (first result wins)."""
+        assert self._results is not None
+        job_id = frame.get("job_id")
+        island = frame.get("island")
+        lease = next(
+            (
+                l
+                for l in worker.leases
+                if l.job_id == job_id and l.island == island
+            ),
+            None,
+        )
+        if lease is None:
+            return  # a lease this coordinator incarnation never issued
+        worker.leases.remove(lease)
+        if lease.epoch != self._epoch or island in self._results:
+            # A previous epoch's laggard, or another worker won the race.
+            # Deterministic advancement makes the duplicate redundant, not
+            # wrong — but accepting it could smuggle an old epoch's state
+            # into the wrong barrier, so it is dropped by generation.
+            self.stats["stale_results"] += 1
+            return
+        try:
+            state = EvolutionState.from_jsonable(frame["state"])
+        except (KeyError, CheckpointError):
+            self._drop(worker)
+            return
+        self._results[island] = state
 
     # -- the epoch ---------------------------------------------------------
 
@@ -482,116 +766,135 @@ class SocketTransport:
         self, jobs: list[tuple[int, EvolutionState]], generations: int
     ) -> list[tuple[int, EvolutionState]]:
         assert self._evolver is not None, "start() was not called"
-        # States are serialized once up front; the payload doubles as the
-        # requeue ticket when a worker dies mid-epoch.
-        pending: deque[tuple[int, dict]] = deque(
-            (island, state.to_jsonable()) for island, state in jobs
-        )
-        results: dict[int, EvolutionState] = {}
+        self._epoch += 1
+        self.stats["epochs"] += 1
+        # States are serialized once up front; the payloads double as the
+        # requeue/re-lease tickets when workers die or islands are stolen.
+        self._payloads = {island: state.to_jsonable() for island, state in jobs}
+        self._pending = deque(island for island, _ in jobs)
+        self._results = {}
+        try:
+            while len(self._results) < len(jobs):
+                # Lease pending islands to idle workers, in batches.
+                self._lease_pending(generations)
 
-        while len(results) < len(jobs):
-            # Lease pending epochs to idle workers.
-            for worker in list(self._workers.values()):
-                if not pending:
-                    break
-                if worker.busy:
+                # Everyone is gone: check for a late joiner first, then
+                # advance one pending island locally (deterministic — the
+                # same advance() a worker would have computed) and look
+                # again, so replacement workers are picked up between
+                # islands instead of idling until the run ends.
+                if not self._workers:
+                    joinable, _, _ = select.select([self._listener], [], [], 0)
+                    if joinable:
+                        self._accept_one()
+                        continue
+                    if self._pending:
+                        island = self._pending.popleft()
+                        state = EvolutionState.from_jsonable(self._payloads[island])
+                        self._results[island] = self._evolver.advance(
+                            state, generations
+                        )
+                        self.stats["local_islands"] += 1
                     continue
-                island, payload = pending.popleft()
-                try:
-                    self._assign(worker, island, payload, generations)
-                except OSError:
-                    self._drop(worker, pending)
 
-            # Everyone is gone: check for a late joiner first, then advance
-            # one pending epoch locally (deterministic — the same advance()
-            # a worker would have computed) and look again, so replacement
-            # workers are picked up between jobs instead of idling until
-            # the run ends.
-            if not self._workers:
-                joinable, _, _ = select.select([self._listener], [], [], 0)
-                if joinable:
-                    self._accept_one()
-                    continue
-                if pending:
-                    island, payload = pending.popleft()
-                    state = EvolutionState.from_jsonable(payload)
-                    results[island] = self._evolver.advance(state, generations)
-                continue
+                # The queue is drained but the barrier is not met: steal the
+                # slowest outstanding islands onto idle workers.
+                if self.work_stealing and not self._pending:
+                    self._steal(generations)
 
-            sockets = [self._listener] + list(self._workers)
-            readable, _, _ = select.select(sockets, [], [], 0.5)
-            now = time.monotonic()
-            for sock in readable:
-                if sock is self._listener:
-                    self._accept_one()
-                    continue
-                worker = self._workers.get(sock)
-                if worker is None:
-                    continue
-                try:
-                    frame = recv_frame(sock)
-                except (OSError, TransportError):
-                    frame = None
-                if frame is None:
-                    self._drop(worker, pending)
-                    continue
-                worker.last_seen = now
-                if frame.get("type") != "result":
-                    continue  # heartbeat (or junk we tolerate)
-                if frame.get("job_id") != worker.job_id:
-                    continue  # stale result for a reassigned lease
-                try:
-                    state = EvolutionState.from_jsonable(frame["state"])
-                except (KeyError, CheckpointError):
-                    self._drop(worker, pending)
-                    continue
-                results[worker.island] = state
-                worker.island = worker.job_id = worker.state_payload = None
+                sockets = [self._listener] + list(self._workers)
+                readable, _, _ = select.select(sockets, [], [], 0.5)
+                now = time.monotonic()
+                for sock in readable:
+                    if sock is self._listener:
+                        self._accept_one()
+                        continue
+                    worker = self._workers.get(sock)
+                    if worker is None:
+                        continue
+                    try:
+                        frame = recv_frame(sock)
+                    except (OSError, TransportError):
+                        frame = None
+                    if frame is None:
+                        self._drop(worker)
+                        continue
+                    worker.last_seen = now
+                    if frame.get("type") != "result":
+                        continue  # heartbeat (or junk we tolerate)
+                    self._take_result(worker, frame)
 
-            # Reap workers that went silent mid-lease.
-            for worker in list(self._workers.values()):
-                if now - worker.last_seen > self.heartbeat_timeout:
-                    self._drop(worker, pending)
+                # Reap workers that went silent mid-lease.
+                for worker in list(self._workers.values()):
+                    if now - worker.last_seen > self.heartbeat_timeout:
+                        self._drop(worker)
 
-        return [(island, results[island]) for island, _ in jobs]
+            return [(island, self._results[island]) for island, _ in jobs]
+        finally:
+            # Leases that lost a race stay on their workers (their results
+            # arrive later and are discarded by generation); the epoch
+            # context itself is gone.
+            self._payloads = None
+            self._pending = None
+            self._results = None
 
 
 # -- the worker process --------------------------------------------------------
 
 
-def run_worker(
+def backoff_delays(
+    attempts: int,
+    base: float = 0.25,
+    cap: float = BACKOFF_CAP,
+    seed: int | None = None,
+) -> Iterator[float]:
+    """Yield ``attempts`` (re)connect delays: capped exponential, jittered.
+
+    The delay doubles from ``base`` up to ``cap``; each is scaled by a
+    jitter factor in ``[0.5, 1.5)`` drawn from a tiny LCG seeded with
+    ``seed`` (the process id by default), so the workers of one host fan
+    out instead of hammering a restarting coordinator in lockstep — yet a
+    fixed seed replays the exact schedule, which the chaos tests rely on.
+    """
+    state = ((os.getpid() if seed is None else seed) ^ 0x5DEECE66D) & 0x7FFFFFFF
+    state = state or 1
+    for attempt in range(attempts):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        jitter = 0.5 + state / 0x80000000
+        yield min(cap, base * (1 << attempt)) * jitter
+
+
+def _connect_with_backoff(
     host: str,
     port: int,
-    heartbeat_interval: float = 2.0,
-    connect_retries: int = 40,
-    retry_delay: float = 0.25,
-) -> int:
-    """Serve epochs for a :class:`SocketTransport` coordinator; returns an
-    exit code.
-
-    Connects (retrying while the coordinator's listener comes up), performs
-    the hello/version handshake, rebuilds the evolver from the setup frame,
-    then loops: receive a leased epoch, advance it, send the result.  A
-    daemon thread emits heartbeats every ``heartbeat_interval`` seconds for
-    the whole connection lifetime, so the coordinator can tell a slow epoch
-    from a dead worker.  Exits cleanly on a ``shutdown`` frame or when the
-    coordinator closes the connection.
-    """
-    sock: socket.socket | None = None
+    attempts: int,
+    base_delay: float,
+    deadline: float | None = None,
+    seed: int | None = None,
+) -> tuple[socket.socket | None, OSError | None]:
+    """Connect with backoff; ``(None, last_error)`` once attempts/deadline
+    are exhausted (the caller decides whether that is fatal)."""
     last_error: OSError | None = None
-    for _ in range(connect_retries):
+    for delay in backoff_delays(attempts, base=base_delay, seed=seed):
         try:
-            sock = socket.create_connection((host, port), timeout=30.0)
-            break
+            return socket.create_connection((host, port), timeout=30.0), None
         except OSError as exc:
             last_error = exc
-            time.sleep(retry_delay)
-    if sock is None:
-        raise TransportError(
-            f"could not connect to coordinator at {host}:{port}: {last_error}"
-        )
-    sock.settimeout(None)
+        if deadline is not None:
+            delay = min(delay, deadline - time.monotonic())
+            if delay < 0:
+                break
+        time.sleep(delay)
+    return None, last_error
 
+
+def _serve_connection(sock: socket.socket, heartbeat_interval: float) -> str:
+    """Serve one coordinator connection until it ends.
+
+    Returns ``"shutdown"`` on an orderly end of service (a ``shutdown``
+    frame) and ``"lost"`` when the connection died or the coordinator spoke
+    garbage — the caller decides whether to re-attach.  Closes ``sock``.
+    """
     send_lock = threading.Lock()
     stop = threading.Event()
 
@@ -603,39 +906,117 @@ def run_worker(
                 return
 
     try:
-        send_frame(sock, {"type": "hello", "protocol": PROTOCOL_VERSION}, lock=send_lock)
+        send_frame(
+            sock, {"type": "hello", "protocol": PROTOCOL_VERSION}, lock=send_lock
+        )
         setup = recv_frame(sock)
         if setup is None or setup.get("type") != "setup":
-            raise TransportError(f"expected setup frame, got {setup!r}")
+            return "lost"
         evolver = evolver_from_jsonable(setup["problem"])
 
         beater = threading.Thread(target=_heartbeat, daemon=True)
         beater.start()
 
-        # Once serving, a vanished coordinator (connection reset while
-        # receiving a job or sending a result — e.g. it reassigned our
-        # lease after a stall and closed the socket) is a normal end of
-        # service, not a worker failure: exit cleanly.
-        try:
-            while True:
-                message = recv_frame(sock)
-                if message is None or message.get("type") == "shutdown":
-                    return 0
-                if message.get("type") != "job":
-                    continue
-                state = EvolutionState.from_jsonable(message["state"])
-                advanced = evolver.advance(state, int(message["generations"]))
+        while True:
+            message = recv_frame(sock)
+            if message is None:
+                return "lost"
+            if message.get("type") == "shutdown":
+                return "shutdown"
+            if message.get("type") != "job":
+                continue
+            job_id = message["job_id"]
+            generations = int(message["generations"])
+            # One result frame per island, streamed as each finishes, so
+            # the coordinator sees per-island completions (work stealing
+            # keys off them) rather than one response per batch.
+            for island, payload in message["islands"]:
+                state = EvolutionState.from_jsonable(payload)
+                advanced = evolver.advance(state, generations)
                 send_frame(
                     sock,
                     {
                         "type": "result",
-                        "job_id": message["job_id"],
+                        "job_id": job_id,
+                        "island": int(island),
                         "state": advanced.to_jsonable(),
                     },
                     lock=send_lock,
                 )
-        except (OSError, TransportError):
-            return 0
+    except (OSError, TransportError, CheckpointError, KeyError, TypeError, ValueError):
+        # Connection died mid-frame, or this coordinator incarnation sent
+        # something unusable: treat both as a lost connection and let the
+        # caller's reconnect loop decide if the coordinator is really gone.
+        return "lost"
     finally:
         stop.set()
         sock.close()
+
+
+def run_worker(
+    host: str,
+    port: int,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    connect_retries: int = 10,
+    retry_delay: float = 0.25,
+    max_reconnect_attempts: int = 10,
+    reconnect_window: float = 60.0,
+    jitter_seed: int | None = None,
+    wrap_socket: Callable[[socket.socket], socket.socket] | None = None,
+) -> int:
+    """Serve epochs for a :class:`SocketTransport` coordinator; returns an
+    exit code.
+
+    Connects (with capped exponential backoff + deterministic jitter while
+    the coordinator's listener comes up — see :func:`backoff_delays`; the
+    schedule starts at ``retry_delay`` and runs ``connect_retries``
+    attempts), performs the hello/version handshake, rebuilds the evolver
+    from the setup frame, then loops: receive a leased island batch,
+    advance each island, stream the results back.  A daemon thread emits
+    heartbeats every ``heartbeat_interval`` seconds per connection, so the
+    coordinator can tell a slow epoch from a dead worker.
+
+    A lost connection mid-service — coordinator crash, dropped lease after
+    a stall, network blip — starts a *reconnect loop*: up to
+    ``max_reconnect_attempts`` backoff attempts within
+    ``reconnect_window`` seconds, each re-performing the problem handshake
+    against whatever coordinator incarnation answers (a restarted
+    ``infer --resume`` on the same address included).  Any in-flight lease
+    is discarded — the new incarnation re-leases it, and duplicates are
+    dropped by lease generation.  The worker exits 0 only on an explicit
+    ``shutdown`` frame or once the coordinator is confirmed gone (the full
+    reconnect budget elapsed); failing the *initial* connect raises
+    :class:`TransportError` instead, because there was never a coordinator
+    to outlive.
+
+    ``jitter_seed`` pins the backoff schedule (tests); ``wrap_socket``
+    lets the fault-injection harness interpose a
+    :class:`~repro.pmevo.faults.FaultySocket` on each connection.
+    """
+    sock, last_error = _connect_with_backoff(
+        host, port, connect_retries, retry_delay, seed=jitter_seed
+    )
+    if sock is None:
+        raise TransportError(
+            f"could not connect to coordinator at {host}:{port}: {last_error}"
+        )
+    while True:
+        sock.settimeout(None)
+        if wrap_socket is not None:
+            sock = wrap_socket(sock)
+        if _serve_connection(sock, heartbeat_interval) == "shutdown":
+            return 0
+        deadline = time.monotonic() + reconnect_window
+        sock, _ = _connect_with_backoff(
+            host,
+            port,
+            max_reconnect_attempts,
+            retry_delay,
+            deadline=deadline,
+            seed=jitter_seed,
+        )
+        if sock is None:
+            # The coordinator is confirmed gone (refused/unreachable for
+            # the whole reconnect budget): an orderly end of service, not
+            # a worker failure.
+            return 0

@@ -18,6 +18,7 @@ from repro.pmevo import (
     IslandResult,
     PortMappingEvolver,
     load_checkpoint,
+    previous_path,
     write_checkpoint,
 )
 
@@ -133,7 +134,53 @@ class TestCheckpointFiles:
         path = tmp_path / "snap.json"
         write_checkpoint(path, self._snapshot())
         write_checkpoint(path, self._snapshot())  # overwrite is atomic too
-        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+        # Overwriting rotates the displaced snapshot to `.prev`; no tmp
+        # files or deeper history may remain.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "snap.json",
+            "snap.json.prev",
+        ]
+
+    def test_overwrite_rotates_previous_snapshot(self, tmp_path):
+        path = tmp_path / "snap.json"
+        first = self._snapshot()
+        write_checkpoint(path, first)
+        second = self._snapshot()
+        second.epochs = 2
+        write_checkpoint(path, second)
+        assert load_checkpoint(path).epochs == 2
+        assert load_checkpoint(previous_path(path)).epochs == first.epochs
+
+    def test_first_write_leaves_no_prev(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_checkpoint(path, self._snapshot())
+        assert not previous_path(path).exists()
+
+    def test_load_falls_back_to_prev_with_warning(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_checkpoint(path, self._snapshot())
+        write_checkpoint(path, self._snapshot())
+        path.write_text("definitely not json")  # the latest snapshot is toast
+        with pytest.warns(UserWarning, match="falling back to the previous"):
+            loaded = load_checkpoint(path)
+        assert loaded.epochs == 1
+
+    def test_fallback_reports_primary_error_when_prev_also_bad(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_checkpoint(path, self._snapshot())
+        write_checkpoint(path, self._snapshot())
+        path.write_text("definitely not json")
+        previous_path(path).write_text("also not json")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_checkpoint(path)
+
+    def test_fallback_can_be_disabled(self, tmp_path):
+        path = tmp_path / "snap.json"
+        write_checkpoint(path, self._snapshot())
+        write_checkpoint(path, self._snapshot())
+        path.write_text("definitely not json")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_checkpoint(path, allow_previous=False)
 
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(CheckpointError, match="cannot read checkpoint"):

@@ -24,6 +24,65 @@ class TestParser:
         assert _parse_experiment(["a=2", "b"]) == Experiment({"a": 2, "b": 1})
         assert _parse_experiment(["a", "a"]) == Experiment({"a": 2})
 
+    def test_cluster_tunables_defaults(self):
+        from repro.pmevo.transport import (
+            DEFAULT_HEARTBEAT_INTERVAL,
+            DEFAULT_HEARTBEAT_TIMEOUT,
+            DEFAULT_START_TIMEOUT,
+        )
+
+        infer = build_parser().parse_args(["infer", "SKL", "-o", "m.json"])
+        assert infer.heartbeat_timeout == DEFAULT_HEARTBEAT_TIMEOUT
+        assert infer.start_timeout == DEFAULT_START_TIMEOUT
+        worker = build_parser().parse_args(["worker", "--connect", "h:1"])
+        assert worker.heartbeat_interval == DEFAULT_HEARTBEAT_INTERVAL
+        assert worker.max_reconnect_attempts == 10
+        assert worker.reconnect_window == 60.0
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["infer", "SKL", "-o", "m.json", "--heartbeat-timeout", "0"],
+            ["infer", "SKL", "-o", "m.json", "--heartbeat-timeout", "-3"],
+            ["infer", "SKL", "-o", "m.json", "--heartbeat-timeout", "soon"],
+            ["infer", "SKL", "-o", "m.json", "--start-timeout", "0"],
+            ["worker", "--connect", "h:1", "--heartbeat-interval", "0"],
+            ["worker", "--connect", "h:1", "--reconnect-window", "-1"],
+            ["worker", "--connect", "h:1", "--max-reconnect-attempts", "-1"],
+            ["worker", "--connect", "h:1", "--max-reconnect-attempts", "1.5"],
+        ],
+        ids=[
+            "timeout-zero",
+            "timeout-negative",
+            "timeout-not-a-number",
+            "start-timeout-zero",
+            "heartbeat-zero",
+            "window-negative",
+            "attempts-negative",
+            "attempts-fractional",
+        ],
+    )
+    def test_invalid_cluster_tunables_exit_2(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_heartbeat_timeout_must_exceed_heartbeat_interval(self, capsys):
+        # A coordinator timeout below one worker heartbeat period would
+        # reap perfectly healthy workers; the parser refuses it outright.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["infer", "SKL", "-o", "m.json", "--heartbeat-timeout", "1.0"])
+        assert excinfo.value.code == 2
+        assert "must exceed the worker heartbeat interval" in capsys.readouterr().err
+
+    def test_zero_reconnect_attempts_is_allowed(self):
+        # 0 is a valid operator choice: "never reconnect, die with the
+        # coordinator".
+        args = build_parser().parse_args(
+            ["worker", "--connect", "h:1", "--max-reconnect-attempts", "0"]
+        )
+        assert args.max_reconnect_attempts == 0
+
 
 @pytest.fixture
 def mapping_file(tmp_path):

@@ -46,6 +46,10 @@ from repro.pmevo.transport import (
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Keep threaded workers from spending tens of seconds in the reconnect
+#: backoff if a shutdown frame is ever lost — tests must fail fast, not hang.
+FAST_RECONNECT = dict(max_reconnect_attempts=2, reconnect_window=2.0, jitter_seed=1)
+
 
 CONFIG = EvolutionConfig(
     population_size=16,
@@ -83,7 +87,9 @@ class TestTransportEquivalence:
         transport = SocketTransport(min_workers=2, heartbeat_timeout=15.0)
         host, port = transport.listen()
         threads = [
-            threading.Thread(target=run_worker, args=(host, port), daemon=True)
+            threading.Thread(
+                target=run_worker, args=(host, port), kwargs=FAST_RECONNECT, daemon=True
+            )
             for _ in range(2)
         ]
         for thread in threads:
@@ -92,6 +98,46 @@ class TestTransportEquivalence:
         for thread in threads:
             thread.join(timeout=15)
             assert not thread.is_alive()
+        assert _normalized(result) == _normalized(serial_result)
+        assert result.transport_stats["epochs"] > 0
+        assert result.transport_stats["leases"] >= result.transport_stats["epochs"]
+
+    def test_socket_without_stealing_matches_serial(self, serial_result):
+        # Work stealing is an optimization, never a semantic: disabling it
+        # must not change a single byte of the result.
+        transport = SocketTransport(
+            min_workers=1, heartbeat_timeout=15.0, work_stealing=False
+        )
+        host, port = transport.listen()
+        thread = threading.Thread(
+            target=run_worker, args=(host, port), kwargs=FAST_RECONNECT, daemon=True
+        )
+        thread.start()
+        result = _evolver(transport).run()
+        thread.join(timeout=15)
+        assert result.transport_stats["steals"] == 0
+        assert _normalized(result) == _normalized(serial_result)
+
+    def test_socket_single_island_batches_matches_serial(self, serial_result):
+        # Forcing one-island lease batches exercises the finest-grained
+        # leasing path (maximum requeue/steal surface) — still byte-identical.
+        transport = SocketTransport(
+            min_workers=2, heartbeat_timeout=15.0, max_lease_batch=1
+        )
+        host, port = transport.listen()
+        threads = [
+            threading.Thread(
+                target=run_worker, args=(host, port), kwargs=FAST_RECONNECT, daemon=True
+            )
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        result = _evolver(transport).run()
+        for thread in threads:
+            thread.join(timeout=15)
+        # One-island batches mean at least one lease per island per epoch.
+        assert result.transport_stats["leases"] >= 3 * result.transport_stats["epochs"]
         assert _normalized(result) == _normalized(serial_result)
 
     def test_default_transport_matches_explicit_serial(self, serial_result):
@@ -163,7 +209,9 @@ class TestSocketFaultTolerance:
         transport = SocketTransport(min_workers=2, heartbeat_timeout=15.0)
         host, port = transport.listen()
         bad = threading.Thread(target=self._bad_worker, args=(host, port), daemon=True)
-        good = threading.Thread(target=run_worker, args=(host, port), daemon=True)
+        good = threading.Thread(
+            target=run_worker, args=(host, port), kwargs=FAST_RECONNECT, daemon=True
+        )
         bad.start()
         good.start()
         result = _evolver(transport).run()
@@ -224,15 +272,25 @@ class TestSocketFaultTolerance:
             sock, _ = listener.accept()
             recv_frame(sock)  # hello
             send_frame(sock, {"type": "setup", "problem": problem})
-            frame = {"type": "job", "job_id": 1, "generations": 2}
-            frame["state"] = _evolver().evolver.init_state().to_jsonable()
+            state = _evolver().evolver.init_state().to_jsonable()
+            frame = {
+                "type": "job",
+                "job_id": 1,
+                "generations": 2,
+                "islands": [[0, state]],
+            }
             send_frame(sock, frame)
             sock.close()  # vanish before the result arrives
             listener.close()
 
         thread = threading.Thread(target=fake_coordinator, daemon=True)
         thread.start()
-        assert run_worker(host, port, heartbeat_interval=0.2) == 0
+        # With the listener closed, every reconnect attempt is refused; the
+        # worker must conclude the coordinator is gone and exit 0 — within
+        # the (deliberately small) reconnect budget, not the default minute.
+        assert (
+            run_worker(host, port, heartbeat_interval=0.2, **FAST_RECONNECT) == 0
+        )
         thread.join(timeout=15)
 
     def test_start_times_out_without_workers(self):
