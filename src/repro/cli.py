@@ -9,6 +9,9 @@ Subcommands (see ``docs/cli.md`` for the full reference):
   (``--checkpoint``/``--resume``).
 * ``worker``  — serve island epochs for a ``--transport socket`` coordinator
   (run one per core, on any machine that can reach the coordinator).
+* ``serve``   — serve throughput predictions for one or more mapping files
+  over an async HTTP/JSON API (``POST /v1/predict``) with a memoizing LRU
+  cache and batched backend evaluation; see ``docs/serving.md``.
 * ``predict`` — predict the throughput of an experiment with a mapping file.
 * ``compare`` — evaluate a mapping (and the built-in baselines) on a random
   benchmark set, printing a Table 3/4-style accuracy report.
@@ -60,6 +63,13 @@ def _nonnegative_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = _nonnegative_int(text)
+    if value == 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text}")
     return value
 
 
@@ -207,6 +217,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds after a connection drop during which reconnects are "
         "attempted; past this the coordinator is treated as gone and the "
         "worker exits cleanly (default 60)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve throughput predictions over HTTP/JSON",
+        epilog="Serves POST /v1/predict (batched sequence -> throughput), "
+        "GET /healthz, GET /v1/stats, and POST /v1/reload over a mapping "
+        "registry.  Predictions are memoized in a bounded LRU and concurrent "
+        "cache misses are coalesced into single batched backend calls.  "
+        "SIGTERM drains in-flight requests before exiting.  See "
+        "docs/serving.md for the API reference.",
+    )
+    serve.add_argument(
+        "--mapping",
+        action="append",
+        required=True,
+        metavar="[ID=]PATH",
+        help="mapping JSON artifact to serve (repeatable; id defaults to "
+        "the file stem)",
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:8123",
+        help="HOST:PORT to listen on (':0' binds loopback on an ephemeral "
+        "port; the bound address is printed as 'serving on HOST:PORT')",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=_nonnegative_int,
+        default=4096,
+        help="LRU capacity in cached predictions (0 disables caching; "
+        "default 4096)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=256,
+        help="maximum sequences per /v1/predict request (default 256)",
+    )
+    serve.add_argument(
+        "--max-sequence",
+        type=_positive_int,
+        default=1024,
+        help="maximum instructions per sequence (default 1024)",
+    )
+    serve.add_argument(
+        "--max-body-kib",
+        type=_positive_int,
+        default=1024,
+        help="maximum request body size in KiB (default 1024)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=_positive_float,
+        default=30.0,
+        help="seconds a keep-alive connection may idle between requests "
+        "(default 30)",
+    )
+    serve.add_argument(
+        "--grace",
+        type=_positive_float,
+        default=10.0,
+        help="seconds shutdown waits for in-flight requests to drain "
+        "(default 10)",
     )
 
     predict = sub.add_parser("predict", help="predict throughput of an experiment")
@@ -358,6 +432,39 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import MappingRegistry, PredictionServer, parse_bind, parse_mapping_spec
+
+    from repro.core.errors import ServingError
+
+    specs = [parse_mapping_spec(spec) for spec in args.mapping]
+    host, port = parse_bind(args.bind)
+    try:
+        registry = MappingRegistry(specs, workspace_capacity=args.max_batch)
+    except ServingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for mapping_id in registry.ids:
+        entry = registry.get(mapping_id)
+        print(
+            f"mapping {mapping_id!r}: {len(entry.mapping)} instructions, "
+            f"{entry.mapping.ports.num_ports} ports, "
+            f"fingerprint {entry.fingerprint} ({entry.path})"
+        )
+    server = PredictionServer(
+        registry,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        max_sequence=args.max_sequence,
+        max_body_bytes=args.max_body_kib * 1024,
+        idle_timeout=args.idle_timeout,
+        grace=args.grace,
+    )
+    return asyncio.run(server.run(host, port))
+
+
 def _parse_experiment(tokens: list[str]) -> Experiment:
     counts: dict[str, int] = {}
     for token in tokens:
@@ -442,6 +549,23 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
             f"worker heartbeat interval (default {DEFAULT_HEARTBEAT_INTERVAL:g}s); "
             "a timeout shorter than one heartbeat period drops healthy workers"
         )
+    if args.command == "serve":
+        from repro.core.errors import ServingError
+        from repro.serving import parse_bind, parse_mapping_spec
+
+        try:
+            specs = [parse_mapping_spec(spec) for spec in args.mapping]
+            parse_bind(args.bind)
+        except ServingError as exc:
+            parser.error(str(exc))
+        seen: set[str] = set()
+        for mapping_id, _ in specs:
+            if mapping_id in seen:
+                parser.error(
+                    f"duplicate mapping id {mapping_id!r}; disambiguate with "
+                    "--mapping ID=PATH"
+                )
+            seen.add(mapping_id)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -452,6 +576,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "infer": _cmd_infer,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
         "predict": _cmd_predict,
         "compare": _cmd_compare,
         "show": _cmd_show,

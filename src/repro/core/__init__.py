@@ -9,6 +9,7 @@ from repro.core.errors import (
     MappingError,
     MeasurementError,
     ReproError,
+    ServingError,
     SolverError,
     TransportError,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "SolverError",
     "InferenceError",
     "TransportError",
+    "ServingError",
     "CheckpointError",
     "InjectedFault",
     "Experiment",

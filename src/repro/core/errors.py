@@ -65,6 +65,17 @@ class InjectedFault(ReproError, ConnectionError):
     """
 
 
+class ServingError(ReproError):
+    """Raised for prediction-serving misconfiguration and registry failures.
+
+    Examples: a mapping registry spec with duplicate ids, an unreadable or
+    malformed mapping artifact, or a hot reload against a file that no
+    longer parses.  Client-side protocol violations use the subclass
+    :class:`repro.serving.protocol.ProtocolError`, which additionally
+    carries an HTTP status and a machine-readable error code.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised for unreadable, corrupted, or mismatched checkpoints.
 

@@ -19,6 +19,7 @@ implements that reduction and is what both throughput back ends consume.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
@@ -268,6 +269,20 @@ class ThreeLevelMapping:
     def from_json(cls, text: str) -> "ThreeLevelMapping":
         """Deserialize from a JSON string."""
         return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the mapping (sha256 hex, truncated).
+
+        Two mappings have equal fingerprints iff they have equal canonical
+        serializations (port names in order, instructions and µops sorted —
+        which :meth:`to_dict` already guarantees).  The serving layer uses
+        this as the mapping *version*: hot reload compares fingerprints to
+        decide whether cached predictions must be invalidated, and reports
+        it from ``/v1/stats`` so operators can tell which artifact revision
+        a server is answering with.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     def describe(self) -> str:
         """Human-readable multi-line description of the mapping."""

@@ -3,7 +3,9 @@
 from repro.throughput.batched import (
     HAVE_NUMBA,
     BatchedThroughputEvaluator,
+    FixedMappingEvaluator,
     PackedWorkspace,
+    SequenceWorkspace,
 )
 from repro.throughput.bottleneck import (
     bottleneck_throughput,
@@ -28,7 +30,9 @@ __all__ = [
     "build_lp",
     "LPProblem",
     "BatchedThroughputEvaluator",
+    "FixedMappingEvaluator",
     "PackedWorkspace",
+    "SequenceWorkspace",
     "HAVE_NUMBA",
     "MappingPredictor",
     "ThroughputPredictor",

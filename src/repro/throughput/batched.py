@@ -48,7 +48,13 @@ from repro.throughput.bottleneck import popcounts, zeta_transform
 if TYPE_CHECKING:  # import would cycle through repro.pmevo at runtime
     from repro.pmevo.packed import PackedPopulation
 
-__all__ = ["BatchedThroughputEvaluator", "PackedWorkspace", "HAVE_NUMBA"]
+__all__ = [
+    "BatchedThroughputEvaluator",
+    "FixedMappingEvaluator",
+    "PackedWorkspace",
+    "SequenceWorkspace",
+    "HAVE_NUMBA",
+]
 
 try:  # optional JIT acceleration; the numpy kernel is the reference
     import numba as _numba
@@ -343,6 +349,14 @@ class BatchedThroughputEvaluator:
             masses.max(axis=2, out=out[start:stop])
         return out
 
+    def fixed_mapping_evaluator(
+        self, mapping: ThreeLevelMapping
+    ) -> "FixedMappingEvaluator":
+        """A :class:`FixedMappingEvaluator` over this evaluator's instruction
+        universe — the batch-entry API for callers (like the serving layer)
+        that hold the mapping fixed and stream experiments through it."""
+        return FixedMappingEvaluator(mapping, self.instruction_names)
+
     def throughputs(
         self, mapping: ThreeLevelMapping | Mapping[str, Mapping[int, int]]
     ) -> np.ndarray:
@@ -368,3 +382,153 @@ class BatchedThroughputEvaluator:
         if self.measured is None:
             raise ExperimentError("this evaluator has no measured throughputs")
         return np.mean(np.abs(predicted - self.measured) * self._inv_measured, axis=-1)
+
+
+class SequenceWorkspace:
+    """Preallocated buffers for :class:`FixedMappingEvaluator` batches.
+
+    Owns the counts buffer (``[capacity, instruction]``) and the mass buffer
+    (``[capacity, 2^|P|]``).  One workspace per served mapping is allocated
+    once and reused for every prediction batch; batches larger than
+    ``capacity`` are processed in capacity-sized chunks through the same
+    buffers.
+    """
+
+    __slots__ = ("capacity", "counts", "masses")
+
+    def __init__(self, capacity: int, num_instructions: int, num_ports: int):
+        if capacity < 1:
+            raise MappingError("workspace capacity must be positive")
+        self.capacity = capacity
+        self.counts = np.zeros((capacity, num_instructions), dtype=np.float64)
+        self.masses = np.empty((capacity, 1 << num_ports), dtype=np.float64)
+
+
+class FixedMappingEvaluator:
+    """Evaluates batches of experiments against one fixed mapping.
+
+    The transpose of :class:`BatchedThroughputEvaluator`: there the
+    experiment set is fixed at construction and candidate mappings stream
+    through; here the *mapping* is fixed — its µop matrix is scattered once —
+    and batches of instruction sequences stream through.  This is the hot
+    path of the prediction serving layer (:mod:`repro.serving`).
+
+    Bit-identity contract
+    ---------------------
+    Each batch entry is computed with exactly the arithmetic a direct
+    single-experiment :meth:`BatchedThroughputEvaluator.throughputs` call
+    performs: the mass product is one ``[1, instruction] @ [instruction,
+    2^|P|]`` matmul per entry (BLAS matmul results are *not* stable across
+    batch widths, so a whole-batch matmul would make a prediction depend on
+    which other sequences happened to share its batch), and the zeta
+    transform / popcount divide / max stages — whose per-row results are
+    batch-independent by construction — run vectorized over the batch.
+    Consequently a prediction for a sequence is one specific float, no
+    matter how it was batched or cached; ``tests/test_serving_equivalence.py``
+    pins this.
+
+    Parameters
+    ----------
+    mapping:
+        The three-level mapping to predict with.
+    instruction_names:
+        The instruction universe in a fixed order (defaults to the mapping's
+        own sorted instruction tuple).  Every name must be covered by the
+        mapping, and every experiment must be supported on these names.
+    """
+
+    def __init__(
+        self,
+        mapping: ThreeLevelMapping,
+        instruction_names: Sequence[str] | None = None,
+    ):
+        self.mapping = mapping
+        self.num_ports = mapping.ports.num_ports
+        if instruction_names is None:
+            instruction_names = mapping.instructions
+        self.instruction_names = tuple(instruction_names)
+        self._index = {name: i for i, name in enumerate(self.instruction_names)}
+        if len(self._index) != len(self.instruction_names):
+            raise MappingError("duplicate instruction names")
+        missing = [name for name in self.instruction_names if name not in mapping]
+        if missing:
+            raise MappingError(f"instructions not covered by the mapping: {missing}")
+
+        # The mapping's µop matrix, scattered once (each (row, mask) pair is
+        # touched at most once, so the accumulation order is irrelevant).
+        size = 1 << self.num_ports
+        matrix = np.zeros((len(self.instruction_names), size), dtype=np.float64)
+        for name, row in self._index.items():
+            for mask, mult in mapping.uops_of(name).items():
+                matrix[row, mask] += float(mult)
+        self._matrix = matrix
+        self._popcounts = popcounts(self.num_ports).copy()
+        self._popcounts[0] = np.inf  # the empty set never wins the max
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instruction_names)
+
+    def workspace(self, capacity: int) -> SequenceWorkspace:
+        """Allocate reusable batch buffers for up to ``capacity`` sequences."""
+        return SequenceWorkspace(capacity, self.num_instructions, self.num_ports)
+
+    def missing_instructions(self, experiment: Experiment) -> list[str]:
+        """Names the experiment uses that this evaluator does not cover.
+
+        Lets callers (the serving protocol layer) reject an unsupported
+        sequence up front with a precise error instead of failing an entire
+        evaluation batch.
+        """
+        return [name for name, _ in experiment if name not in self._index]
+
+    def _fill_counts(self, experiments: Sequence[Experiment], counts: np.ndarray) -> None:
+        counts[: len(experiments)] = 0.0
+        for row, experiment in enumerate(experiments):
+            for name, count in experiment:
+                col = self._index.get(name)
+                if col is None:
+                    raise ExperimentError(
+                        f"experiment uses {name!r}, not in the instruction universe"
+                    )
+                counts[row, col] = float(count)
+
+    def throughputs(
+        self,
+        experiments: Sequence[Experiment],
+        workspace: SequenceWorkspace | None = None,
+    ) -> np.ndarray:
+        """Predicted throughput for each experiment, as a ``[batch]`` array.
+
+        ``workspace`` holds the preallocated buffers (created on the fly
+        when omitted); batches beyond its capacity are processed in chunks.
+        """
+        batch = len(experiments)
+        if workspace is None:
+            workspace = self.workspace(max(1, min(batch, 256)))
+        out = np.empty(batch, dtype=np.float64)
+        for start in range(0, batch, workspace.capacity):
+            part = experiments[start : start + workspace.capacity]
+            chunk = len(part)
+            counts = workspace.counts[:chunk]
+            masses = workspace.masses[:chunk]
+            self._fill_counts(part, counts)
+            for row in range(chunk):
+                # One [1, I] @ [I, 2^|P|] product per entry: the same shapes
+                # (hence the same BLAS kernel and the same bits) as a direct
+                # single-experiment BatchedThroughputEvaluator call.
+                np.matmul(counts[row : row + 1], self._matrix, out=masses[row : row + 1])
+            zeta_transform(masses, self.num_ports)
+            np.divide(masses, self._popcounts, out=masses)
+            masses.max(axis=1, out=out[start : start + chunk])
+        return out
+
+    def throughput(self, experiment: Experiment) -> float:
+        """Predicted throughput of a single experiment."""
+        return float(self.throughputs([experiment])[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedMappingEvaluator({self.num_instructions} instructions, "
+            f"{self.num_ports} ports)"
+        )
